@@ -1,0 +1,26 @@
+"""Benchmark-suite plumbing: every benchmark renders its table/figure to
+stdout and to ``benchmark_results/<name>.txt`` so the regenerated artifacts
+are inspectable after a run."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+#: scale knob: "small" keeps the suite fast; "full" uses larger populations
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def emit(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def emit_result():
+    return emit

@@ -1,0 +1,147 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Reflective transformer cost** (§4.1): "The cost of reflection could be
+   reduced by caching the lookup, but even then a naively compiled
+   field-by-field copy is much slower than the collector's highly-optimized
+   copying loop." We re-run the microbenchmark with the reflective
+   dispatch/field charges zeroed — modelling a perfectly optimized,
+   collector-speed transformer — and measure how much of the pause was the
+   reflective overhead.
+
+2. **Steady-state overhead of eager vs lazy updating** (§3.5 / §5): lazy
+   systems (JDrums/DVM) pay an indirection or read-barrier tax on *every*
+   execution; Jvolve's eager model pays only at update time. We model the
+   lazy tax as a per-instruction surcharge and compare steady-state
+   throughput of the same workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.harness.microbench import run_microbench
+from repro.vm.clock import CostModel
+
+NUM_OBJECTS = 20_000 if BENCH_SCALE == "full" else 8_000
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_reflective_transformer_overhead(benchmark):
+    def run_pair():
+        reflective = run_microbench(NUM_OBJECTS, 1.0)
+        optimized_costs = CostModel(transform_dispatch=0, transform_field=0)
+        optimized = run_microbench(NUM_OBJECTS, 1.0, costs=optimized_costs)
+        return reflective, optimized
+
+    reflective, optimized = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    saved = reflective.transform_ms - optimized.transform_ms
+    lines = [
+        "Ablation: reflective vs optimized transformer dispatch (100% updated)",
+        f"  reflective transformer time: {reflective.transform_ms:8.2f} ms",
+        f"  optimized transformer time:  {optimized.transform_ms:8.2f} ms",
+        f"  reflection overhead:         {saved:8.2f} ms "
+        f"({saved / reflective.transform_ms:.0%} of transformer time)",
+    ]
+    emit("ablation_transformer_cost", "\n".join(lines))
+
+    assert optimized.transform_ms < reflective.transform_ms
+    # Even with free dispatch, the interpreted field-by-field copy keeps the
+    # transformer pass non-trivial — the paper's point about naive copies.
+    assert optimized.transform_ms > 0.1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_eager_vs_lazy_steady_state(benchmark):
+    """Model JDrums/DVM-style lazy updating as a ~10% per-instruction tax
+    (their interpreters trap object accesses through a handle space; the
+    paper reports roughly 10% overhead) and compare steady-state request
+    latency for an identical jetty load. Jvolve's eager model shows zero
+    steady-state tax — its cost is the stop-the-world pause instead."""
+    from repro.apps.jetty.versions import HTTP_PORT, MAIN_CLASS, VERSIONS
+    from repro.harness.updates import AppDriver
+    from repro.net.httpclient import HttperfLoad
+
+    def serve_load(costs):
+        driver = AppDriver("jetty", VERSIONS, MAIN_CLASS, costs=costs)
+        driver.boot("5.1.6")
+        driver.run(until_ms=100)
+        busy_before = driver.vm.clock.busy_cycles
+        load = HttperfLoad(
+            driver.vm, HTTP_PORT, "/file.bin",
+            connections_per_second=30, duration_ms=800, start_ms=120,
+        )
+        driver.run(until_ms=2_000)
+        assert not load.failed_connections
+        requests = sum(len(c.latencies_ms) for c in load.clients)
+        return (driver.vm.clock.busy_cycles - busy_before) / requests
+
+    def run_pair():
+        # Same cycle scale; the lazy model pays a 10% per-instruction tax
+        # for handle-space indirection on every object access.
+        eager = serve_load(CostModel(instruction=10, cycles_per_ms=200_000))
+        lazy = serve_load(CostModel(instruction=11, cycles_per_ms=200_000))
+        return eager, lazy
+
+    eager_cost, lazy_cost = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    overhead = lazy_cost / eager_cost - 1.0
+    lines = [
+        "Ablation: eager (Jvolve) vs lazy (JDrums/DVM-style) updating",
+        f"  eager cycles per request: {eager_cost:10.0f}",
+        f"  lazy  cycles per request: {lazy_cost:10.0f}",
+        f"  steady-state tax of lazy indirection: {overhead:+.1%}",
+        "  (paper §5: JDrums traps all object pointer dereferences; DVM's",
+        "  interpreter pays ~10%. Jvolve pays at update time instead — see",
+        "  table1_microbench for that side of the trade.)",
+    ]
+    emit("ablation_eager_vs_lazy", "\n".join(lines))
+    assert lazy_cost > eager_cost
+    assert 0.02 <= overhead <= 0.15
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_eager_old_copy_reclaim_headroom(benchmark):
+    """§3.4: "Since they are unreachable, the next garbage collection will
+    naturally reclaim them. If we put them in a special space, we could
+    reclaim them immediately." Measure the post-update heap headroom both
+    ways."""
+    from repro.compiler.compile import compile_source
+    from repro.dsu.engine import UpdateEngine
+    from repro.dsu.upt import prepare_update
+    from repro.harness.microbench import (
+        MICRO_V1,
+        MICRO_V2,
+        heap_cells_for,
+        populate,
+    )
+    from repro.vm.vm import VM
+
+    objects = 6_000 if BENCH_SCALE == "full" else 3_000
+
+    def run(eager):
+        vm = VM(heap_cells=heap_cells_for(objects))
+        old = compile_source(MICRO_V1, version="m1")
+        vm.boot(old)
+        vm.start_main("Main")
+        vm.run(max_instructions=10_000)
+        populate(vm, objects, 1.0)
+        prepared = prepare_update(
+            old, compile_source(MICRO_V2, version="m2"), "m1", "m2"
+        )
+        engine = UpdateEngine(vm, eager_old_copy_reclaim=eager)
+        result = engine.request_update(prepared)
+        vm.run(max_instructions=100_000_000)
+        assert result.succeeded
+        return vm.heap.free_cells
+
+    lazy_free, eager_free = benchmark.pedantic(
+        lambda: (run(False), run(True)), rounds=1, iterations=1
+    )
+    reclaimed = eager_free - lazy_free
+    lines = [
+        "Ablation: eager old-copy reclamation (special space) vs lazy (§3.4)",
+        f"  free cells after update, lazy (wait for next GC): {lazy_free:>10d}",
+        f"  free cells after update, eager (special space):   {eager_free:>10d}",
+        f"  headroom recovered immediately: {reclaimed} cells "
+        f"(~{reclaimed // 8} old copies)",
+    ]
+    emit("ablation_old_copy_space", "\n".join(lines))
+    assert reclaimed >= objects * 8  # every old copy (8 cells) came back

@@ -1,0 +1,42 @@
+"""Regenerates **Figure 5**: Jetty throughput and latency under three
+configurations — stock VM, Jvolve, and Jvolve after dynamically updating
+5.1.5 -> 5.1.6.
+
+Paper claim reproduced: "The performance of the two Jvolve configurations
+is essentially identical ... also quite similar to the performance of stock
+Jikes RVM" — i.e. Jvolve imposes **no steady-state overhead** and an
+updated application performs as if started from scratch.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.harness.jettyperf import run_experiment
+from repro.harness.tables import render_figure5
+
+RUNS = 7 if BENCH_SCALE == "full" else 3
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_three_configurations(benchmark):
+    summaries = benchmark.pedantic(
+        lambda: run_experiment(runs=RUNS), rounds=1, iterations=1
+    )
+    emit("figure5_jetty_perf", render_figure5(summaries))
+
+    stock = summaries["stock"]
+    jvolve = summaries["jvolve"]
+    updated = summaries["updated"]
+    for summary in (stock, jvolve, updated):
+        assert summary.median_throughput > 0
+        for run in summary.runs:
+            assert run.failed == 0, (summary.configuration, run.seed)
+    # Steady-state equivalence: medians within 5% of each other.
+    reference = stock.median_throughput
+    for summary in (jvolve, updated):
+        assert abs(summary.median_throughput - reference) / reference < 0.05
+    lat_reference = stock.median_latency
+    for summary in (jvolve, updated):
+        assert abs(summary.median_latency - lat_reference) <= max(
+            0.05 * lat_reference, 0.5
+        )

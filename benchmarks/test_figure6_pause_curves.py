@@ -1,0 +1,44 @@
+"""Regenerates **Figure 6**: pause-time curves (GC / transformers / total)
+against the fraction of updated objects, for the largest heap.
+
+Paper claims reproduced: both cost curves increase with the number of
+changed objects; the transformer curve is steeper than the GC curve
+("Transformations are more expensive than standard copying GC"); total
+pause at 100% is roughly four times the 0% pause.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.harness.microbench import run_microbench
+from repro.harness.tables import render_figure6
+
+NUM_OBJECTS = 52_000 if BENCH_SCALE == "full" else 13_000
+FRACTIONS = tuple(i / 10 for i in range(11))
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_series(benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_microbench(NUM_OBJECTS, f) for f in FRACTIONS],
+        rounds=1,
+        iterations=1,
+    )
+    from repro.harness.plots import figure6_chart
+
+    emit(
+        "figure6_pause_curves",
+        render_figure6(results, NUM_OBJECTS) + "\n\n" + figure6_chart(results, NUM_OBJECTS),
+    )
+
+    gc_series = [r.gc_ms for r in results]
+    transform_series = [r.transform_ms for r in results]
+    total_series = [r.total_pause_ms for r in results]
+    # Monotone growth in the fraction of updated objects.
+    assert all(b >= a - 0.2 for a, b in zip(gc_series, gc_series[1:]))
+    assert all(b >= a for a, b in zip(transform_series, transform_series[1:]))
+    assert all(b >= a for a, b in zip(total_series, total_series[1:]))
+    # The transformer slope exceeds the GC slope (paper Figure 6).
+    gc_slope = gc_series[-1] - gc_series[0]
+    transform_slope = transform_series[-1] - transform_series[0]
+    assert transform_slope > gc_slope

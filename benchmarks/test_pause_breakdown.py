@@ -1,0 +1,38 @@
+"""Regenerates the §4.1 pause-breakdown claims:
+
+"Roughly, the time to suspend threads and check that the application is in
+a safe-point is less than a millisecond, and classloading time is usually
+less than 20 ms. Therefore the update disruption time is primarily due to
+the GC and object transformers."
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.harness.microbench import run_microbench
+
+NUM_OBJECTS = 26_000 if BENCH_SCALE == "full" else 10_000
+
+
+@pytest.mark.benchmark(group="pause-breakdown")
+def test_pause_phases(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_microbench(NUM_OBJECTS, 0.5), rounds=1, iterations=1
+    )
+    suspend = result.total_pause_ms - result.gc_ms - result.transform_ms - result.classload_ms
+    lines = [
+        "Update pause breakdown (simulated ms)",
+        f"  suspend+osr+cleanup: {suspend:8.3f}   (paper: < 1 ms)",
+        f"  classloading:        {result.classload_ms:8.3f}   (paper: < 20 ms)",
+        f"  garbage collection:  {result.gc_ms:8.3f}",
+        f"  transformers:        {result.transform_ms:8.3f}",
+        f"  total:               {result.total_pause_ms:8.3f}",
+    ]
+    emit("pause_breakdown", "\n".join(lines))
+
+    # Thread suspension and safe-point checking are sub-millisecond.
+    assert suspend < 1.0
+    # Classloading is bounded and small.
+    assert result.classload_ms < 20.0
+    # GC + transformers dominate the pause.
+    assert (result.gc_ms + result.transform_ms) > 0.8 * result.total_pause_ms

@@ -1,0 +1,58 @@
+"""Regenerates **Table 1**: DSU pause time (GC time, transformer time,
+total) for varying heap sizes and fractions of updated objects.
+
+Paper reference values (ms), largest heap (1280 MB, 3.67M objects):
+GC 615 -> 1218 (0% -> 100%), transformers 0 -> 1405, total 619 -> 2628.
+Our object counts are scaled down (see PAPER_HEAP_LABELS); the claims under
+test are the trends: GC time roughly doubles, transformer time is linear
+and steeper than the GC increment, total is ~4x at 100%.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.harness.microbench import (
+    DEFAULT_FRACTIONS,
+    run_microbench,
+    sweep,
+)
+from repro.harness.tables import render_table1
+
+if BENCH_SCALE == "full":
+    OBJECT_COUNTS = (4_000, 11_000, 25_000, 52_000)
+    FRACTIONS = DEFAULT_FRACTIONS
+else:
+    OBJECT_COUNTS = (2_000, 5_500, 12_500, 26_000)
+    FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_pause_time_grid(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep(OBJECT_COUNTS, FRACTIONS), rounds=1, iterations=1
+    )
+    emit("table1_microbench", render_table1(results))
+
+    by_key = {(r.num_objects, r.fraction): r for r in results}
+    for count in OBJECT_COUNTS:
+        base = by_key[(count, 0.0)]
+        full = by_key[(count, 1.0)]
+        # GC time grows substantially (paper: ~2x) but far less than 3x.
+        assert 1.4 <= full.gc_ms / base.gc_ms <= 3.0, (count, full.gc_ms, base.gc_ms)
+        # Transformer time is zero at 0% and dominates at 100%.
+        assert base.transform_ms < 0.5
+        assert full.transform_ms > full.gc_ms - base.gc_ms
+        # Total pause ~4x (paper: 4.2x) at 100%.
+        assert 3.0 <= full.total_pause_ms / base.total_pause_ms <= 5.5
+    # Pause grows with heap size at fixed fraction (paper rows).
+    for fraction in (0.0, 1.0):
+        totals = [by_key[(c, fraction)].total_pause_ms for c in OBJECT_COUNTS]
+        assert totals == sorted(totals)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_update_log_accounting(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_microbench(OBJECT_COUNTS[0], 0.5), rounds=1, iterations=1
+    )
+    assert result.objects_transformed == int(OBJECT_COUNTS[0] * 0.5)

@@ -1,0 +1,741 @@
+"""Jetty webserver stand-in: eleven releases, 5.1.0 through 5.1.10.
+
+The release history reproduces the paper's §4.2 narrative:
+
+* **5.1.1, 5.1.8, 5.1.9, 5.1.10** — method-body-only releases (the ones a
+  HotSwap/E&C-style system could also apply);
+* **5.1.2** — adds a MIME-type registry and changes a method signature;
+* **5.1.3** — the FAILING update: it modifies ``ThreadedServer.
+  acceptSocket()`` (nearly always on stack, waiting for connections) and
+  ``PoolThread.run()`` (never returns), so no DSU safe point is reached;
+* **5.1.4 — 5.1.7** — class updates adding/removing fields across the
+  request-handling classes;
+* **5.1.5 → 5.1.6** — the pair used for the paper's Figure 5 performance
+  experiment.
+
+Architecture: an acceptor thread (``ThreadedServer``) pushes accepted
+sockets onto a queue; four ``PoolThread`` workers pop and handle them.
+``PoolThread.run``/``ThreadedServer.run``/``acceptSocket`` are written to
+reference only version-stable classes, which is why every update except
+5.1.3 "immediately reached a safe point" in the paper's words.
+"""
+
+HTTP_PORT = 8080
+
+# ---------------------------------------------------------------------------
+# stable fragments
+
+_MAIN = """
+class HttpServer {
+    static void main() {
+        HttpConfig.load();
+        JobQueue.init();
+        Sys.spawn(new ThreadedServer());
+        for (int i = 0; i < 4; i = i + 1) {
+            Sys.spawn(new PoolThread(i));
+        }
+        Sys.print("jetty started");
+    }
+}
+"""
+
+_JOBQUEUE = """
+class JobQueue {
+    static int[] fds;
+    static int head;
+    static int tail;
+    static void init() {
+        JobQueue.fds = new int[256];
+        JobQueue.head = 0;
+        JobQueue.tail = 0;
+    }
+    static void put(int fd) {
+        JobQueue.fds[JobQueue.tail % 256] = fd;
+        JobQueue.tail = JobQueue.tail + 1;
+    }
+    static int take() {
+        if (JobQueue.head == JobQueue.tail) {
+            Sys.sleep(2);
+            return 0 - 1;
+        }
+        int fd = JobQueue.fds[JobQueue.head % 256];
+        JobQueue.head = JobQueue.head + 1;
+        return fd;
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# 5.1.0 baseline
+
+_SERVER_510 = """
+class ThreadedServer {
+    void run() {
+        int lfd = Net.listen(8080);
+        while (true) {
+            acceptSocket(lfd);
+        }
+    }
+    void acceptSocket(int lfd) {
+        int fd = Net.accept(lfd);
+        JobQueue.put(fd);
+    }
+}
+class PoolThread {
+    int id;
+    PoolThread(int id0) { this.id = id0; }
+    void run() {
+        while (true) {
+            int fd = JobQueue.take();
+            if (fd >= 0) {
+                dispatch(fd);
+            }
+        }
+    }
+    void dispatch(int fd) {
+        HttpConnection connection = new HttpConnection(fd);
+        connection.handle();
+    }
+}
+"""
+
+_CONFIG_510 = """
+class HttpConfig {
+    static string docRoot;
+    static int maxKeepAlive;
+    static void load() {
+        HttpConfig.docRoot = "/www";
+        HttpConfig.maxKeepAlive = 20;
+        if (!Files.exists("/www/index.html")) {
+            Files.write("/www/index.html", "<html>jetty index</html>");
+        }
+        if (!Files.exists("/www/file.bin")) {
+            Files.write("/www/file.bin", Str.repeat("x", 2048));
+        }
+    }
+}
+class ServerStats {
+    static int requests;
+    static int responses4xx;
+}
+"""
+
+_REQUEST_510 = """
+class HttpRequest {
+    string method;
+    string path;
+    string version;
+    bool keepAlive;
+    HttpRequest(string m, string p, string v) {
+        this.method = m;
+        this.path = p;
+        this.version = v;
+        this.keepAlive = true;
+    }
+}
+class RequestParser {
+    static HttpRequest parse(string requestLine) {
+        string[] parts = requestLine.split(" ");
+        if (parts.length < 3) { return null; }
+        return new HttpRequest(parts[0], parts[1], parts[2]);
+    }
+}
+"""
+
+_RESPONSE_510 = """
+class HttpResponse {
+    int fd;
+    int status;
+    string body;
+    HttpResponse(int fd0) {
+        this.fd = fd0;
+        this.status = 200;
+        this.body = "";
+    }
+    void send() {
+        string reason = "OK";
+        if (status == 404) { reason = "Not Found"; }
+        if (status == 400) { reason = "Bad Request"; }
+        Net.write(fd, "HTTP/1.1 " + status + " " + reason + "\\r\\n"
+            + "Content-Length: " + body.length() + "\\r\\n"
+            + "\\r\\n" + body);
+    }
+}
+"""
+
+_CONNECTION_510 = """
+class HttpConnection {
+    int fd;
+    HttpConnection(int fd0) { this.fd = fd0; }
+    void handle() {
+        int served = 0;
+        bool open = true;
+        while (open && served < HttpConfig.maxKeepAlive) {
+            string requestLine = Net.readLine(fd);
+            if (requestLine == null) { open = false; }
+            else {
+                HttpRequest request = RequestParser.parse(requestLine);
+                open = readHeaders(request);
+                if (request == null) {
+                    sendError(400);
+                    open = false;
+                } else {
+                    if (open) { serve(request); served = served + 1; }
+                }
+            }
+        }
+        Net.close(fd);
+    }
+    bool readHeaders(HttpRequest request) {
+        while (true) {
+            string line = Net.readLine(fd);
+            if (line == null) { return false; }
+            if (line == "") { return true; }
+            if (request != null && line.toLowerCase() == "connection: close") {
+                request.keepAlive = false;
+            }
+        }
+    }
+    void serve(HttpRequest request) {
+        ServerStats.requests = ServerStats.requests + 1;
+        HttpResponse response = new HttpResponse(fd);
+        string content = Files.read(HttpConfig.docRoot + request.path);
+        if (content == null) {
+            ServerStats.responses4xx = ServerStats.responses4xx + 1;
+            response.status = 404;
+            response.body = "not found: " + request.path;
+        } else {
+            response.body = content;
+        }
+        response.send();
+    }
+    void sendError(int code) {
+        HttpResponse response = new HttpResponse(fd);
+        response.status = code;
+        response.body = "error";
+        response.send();
+    }
+}
+"""
+
+VERSION_510 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_510, _CONFIG_510, _REQUEST_510, _RESPONSE_510, _CONNECTION_510]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.1 — body-only fixes: directory requests map to index.html, 404 body
+# escapes the path, parser tolerates extra spaces.
+
+_CONNECTION_511 = _CONNECTION_510.replace(
+    """        string content = Files.read(HttpConfig.docRoot + request.path);""",
+    """        string path = request.path;
+        if (path.endsWith("/")) { path = path + "index.html"; }
+        string content = Files.read(HttpConfig.docRoot + path);""",
+).replace(
+    """            response.body = "not found: " + request.path;""",
+    """            response.body = "not found";""",
+)
+
+_REQUEST_511 = _REQUEST_510.replace(
+    """    static HttpRequest parse(string requestLine) {
+        string[] parts = requestLine.split(" ");
+        if (parts.length < 3) { return null; }
+        return new HttpRequest(parts[0], parts[1], parts[2]);
+    }""",
+    """    static HttpRequest parse(string requestLine) {
+        string[] parts = requestLine.trim().split(" ");
+        if (parts.length < 3) { return null; }
+        if (parts[0] == "" || parts[1] == "") { return null; }
+        return new HttpRequest(parts[0], parts[1], parts[2]);
+    }""",
+)
+
+VERSION_511 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_510, _CONFIG_510, _REQUEST_511, _RESPONSE_510, _CONNECTION_511]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.2 — adds a MIME registry; HttpResponse.send takes the content type
+# (signature change) and callers adapt.
+
+_MIME_512 = """
+class MimeTypes {
+    static string of(string path) {
+        if (path.endsWith(".html")) { return "text/html"; }
+        if (path.endsWith(".txt")) { return "text/plain"; }
+        return "application/octet-stream";
+    }
+}
+"""
+
+_RESPONSE_512 = """
+class HttpResponse {
+    int fd;
+    int status;
+    string body;
+    HttpResponse(int fd0) {
+        this.fd = fd0;
+        this.status = 200;
+        this.body = "";
+    }
+    void send(string contentType) {
+        string reason = "OK";
+        if (status == 404) { reason = "Not Found"; }
+        if (status == 400) { reason = "Bad Request"; }
+        Net.write(fd, "HTTP/1.1 " + status + " " + reason + "\\r\\n"
+            + "Content-Type: " + contentType + "\\r\\n"
+            + "Content-Length: " + body.length() + "\\r\\n"
+            + "\\r\\n" + body);
+    }
+}
+"""
+
+_CONNECTION_512 = _CONNECTION_511.replace(
+    """        response.send();
+    }
+    void sendError(int code) {""",
+    """        response.send(MimeTypes.of(request.path));
+    }
+    void sendError(int code) {""",
+).replace(
+    """        response.status = code;
+        response.body = "error";
+        response.send();""",
+    """        response.status = code;
+        response.body = "error";
+        response.send("text/plain");""",
+)
+
+VERSION_512 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_510, _CONFIG_510, _REQUEST_511, _MIME_512, _RESPONSE_512, _CONNECTION_512]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.3 — THE FAILING UPDATE: acceptSocket() and PoolThread.run() change
+# (connection accounting moves into the accept path). acceptSocket is
+# nearly always on stack, and PoolThread.run never returns.
+
+_SERVER_513 = """
+class ThreadedServer {
+    int accepted;
+    void run() {
+        int lfd = Net.listen(8080);
+        while (true) {
+            acceptSocket(lfd);
+        }
+    }
+    void acceptSocket(int lfd) {
+        int fd = Net.accept(lfd);
+        this.accepted = this.accepted + 1;
+        JobQueue.put(fd);
+    }
+}
+class PoolThread {
+    int id;
+    int jobsDone;
+    PoolThread(int id0) { this.id = id0; }
+    void run() {
+        while (true) {
+            int fd = JobQueue.take();
+            if (fd >= 0) {
+                dispatch(fd);
+                this.jobsDone = this.jobsDone + 1;
+            }
+        }
+    }
+    void dispatch(int fd) {
+        HttpConnection connection = new HttpConnection(fd);
+        connection.handle();
+    }
+}
+"""
+
+VERSION_513 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_510, _REQUEST_511, _MIME_512, _RESPONSE_512, _CONNECTION_512]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.4 — class updates in the handler chain: HttpRequest drops the unused
+# `version` field and gains header storage; connection counts requests.
+
+_REQUEST_514 = """
+class HttpRequest {
+    string method;
+    string path;
+    bool keepAlive;
+    string[] headerLines;
+    int headerCount;
+    HttpRequest(string m, string p, string v) {
+        this.method = m;
+        this.path = p;
+        this.keepAlive = true;
+        this.headerLines = new string[32];
+        this.headerCount = 0;
+    }
+    void addHeader(string line) {
+        if (headerCount < 32) {
+            headerLines[headerCount] = line;
+            headerCount = headerCount + 1;
+        }
+    }
+}
+class RequestParser {
+    static HttpRequest parse(string requestLine) {
+        string[] parts = requestLine.trim().split(" ");
+        if (parts.length < 3) { return null; }
+        if (parts[0] == "" || parts[1] == "") { return null; }
+        return new HttpRequest(parts[0], parts[1], parts[2]);
+    }
+}
+"""
+
+_CONNECTION_514 = _CONNECTION_512.replace(
+    """class HttpConnection {
+    int fd;
+    HttpConnection(int fd0) { this.fd = fd0; }""",
+    """class HttpConnection {
+    int fd;
+    int requestsServed;
+    HttpConnection(int fd0) { this.fd = fd0; }""",
+).replace(
+    """            if (line.toLowerCase() == "connection: close") {
+                request.keepAlive = false;
+            }""",
+    """            if (line.toLowerCase() == "connection: close") {
+                request.keepAlive = false;
+            }
+            request.addHeader(line);""",
+).replace(
+    """            if (request != null && line.toLowerCase() == "connection: close") {
+                request.keepAlive = false;
+            }""",
+    """            if (request != null) {
+                if (line.toLowerCase() == "connection: close") {
+                    request.keepAlive = false;
+                }
+                request.addHeader(line);
+            }""",
+).replace(
+    """                    if (open) { serve(request); served = served + 1; }""",
+    """                    if (open) {
+                        serve(request);
+                        served = served + 1;
+                        this.requestsServed = this.requestsServed + 1;
+                    }""",
+)
+
+VERSION_514 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_510, _REQUEST_514, _MIME_512, _RESPONSE_512, _CONNECTION_514]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.5 — the big release: response caching, more stats, query strings.
+
+_CONFIG_515 = """
+class HttpConfig {
+    static string docRoot;
+    static int maxKeepAlive;
+    static bool cacheEnabled;
+    static void load() {
+        HttpConfig.docRoot = "/www";
+        HttpConfig.maxKeepAlive = 20;
+        HttpConfig.cacheEnabled = true;
+        if (!Files.exists("/www/index.html")) {
+            Files.write("/www/index.html", "<html>jetty index</html>");
+        }
+        if (!Files.exists("/www/file.bin")) {
+            Files.write("/www/file.bin", Str.repeat("x", 2048));
+        }
+    }
+}
+class ServerStats {
+    static int requests;
+    static int responses4xx;
+    static int cacheHits;
+    static int bytesServed;
+}
+class ResourceCache {
+    static string[] paths;
+    static string[] contents;
+    static int size;
+    static void init() {
+        ResourceCache.paths = new string[16];
+        ResourceCache.contents = new string[16];
+        ResourceCache.size = 0;
+    }
+    static string get(string path) {
+        if (ResourceCache.paths == null) { ResourceCache.init(); }
+        for (int i = 0; i < ResourceCache.size; i = i + 1) {
+            if (ResourceCache.paths[i] == path) {
+                ServerStats.cacheHits = ServerStats.cacheHits + 1;
+                return ResourceCache.contents[i];
+            }
+        }
+        return null;
+    }
+    static void put(string path, string content) {
+        if (ResourceCache.paths == null) { ResourceCache.init(); }
+        if (ResourceCache.size < 16) {
+            ResourceCache.paths[ResourceCache.size] = path;
+            ResourceCache.contents[ResourceCache.size] = content;
+            ResourceCache.size = ResourceCache.size + 1;
+        }
+    }
+}
+"""
+
+_REQUEST_515 = _REQUEST_514.replace(
+    """    string method;
+    string path;
+    bool keepAlive;
+    string[] headerLines;
+    int headerCount;
+    HttpRequest(string m, string p, string v) {
+        this.method = m;
+        this.path = p;
+        this.keepAlive = true;
+        this.headerLines = new string[32];
+        this.headerCount = 0;
+    }""",
+    """    string method;
+    string path;
+    string queryString;
+    bool keepAlive;
+    string[] headerLines;
+    int headerCount;
+    HttpRequest(string m, string p, string v) {
+        this.method = m;
+        int q = p.indexOf("?");
+        if (q >= 0) {
+            this.path = p.substring(0, q);
+            this.queryString = p.substring(q + 1);
+        } else {
+            this.path = p;
+            this.queryString = "";
+        }
+        this.keepAlive = true;
+        this.headerLines = new string[32];
+        this.headerCount = 0;
+    }""",
+)
+
+_CONNECTION_515 = _CONNECTION_514.replace(
+    """    void serve(HttpRequest request) {
+        ServerStats.requests = ServerStats.requests + 1;
+        HttpResponse response = new HttpResponse(fd);
+        string path = request.path;
+        if (path.endsWith("/")) { path = path + "index.html"; }
+        string content = Files.read(HttpConfig.docRoot + path);
+        if (content == null) {
+            ServerStats.responses4xx = ServerStats.responses4xx + 1;
+            response.status = 404;
+            response.body = "not found";
+        } else {
+            response.body = content;
+        }
+        response.send(MimeTypes.of(request.path));
+    }""",
+    """    void serve(HttpRequest request) {
+        ServerStats.requests = ServerStats.requests + 1;
+        HttpResponse response = new HttpResponse(fd);
+        string path = request.path;
+        if (path.endsWith("/")) { path = path + "index.html"; }
+        string content = null;
+        if (HttpConfig.cacheEnabled) { content = ResourceCache.get(path); }
+        if (content == null) {
+            content = Files.read(HttpConfig.docRoot + path);
+            if (content != null && HttpConfig.cacheEnabled) {
+                ResourceCache.put(path, content);
+            }
+        }
+        if (content == null) {
+            ServerStats.responses4xx = ServerStats.responses4xx + 1;
+            response.status = 404;
+            response.body = "not found";
+        } else {
+            response.body = content;
+            ServerStats.bytesServed = ServerStats.bytesServed + content.length();
+        }
+        response.send(MimeTypes.of(request.path));
+    }""",
+)
+
+VERSION_515 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_515, _REQUEST_515, _MIME_512, _RESPONSE_512, _CONNECTION_515]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.6 — the Figure-5 target: response gains a server header toggle and
+# connections track idle cycles; several body tweaks.
+
+_RESPONSE_516 = """
+class HttpResponse {
+    int fd;
+    int status;
+    string body;
+    bool sendServerHeader;
+    HttpResponse(int fd0) {
+        this.fd = fd0;
+        this.status = 200;
+        this.body = "";
+        this.sendServerHeader = true;
+    }
+    void send(string contentType) {
+        string reason = "OK";
+        if (status == 404) { reason = "Not Found"; }
+        if (status == 400) { reason = "Bad Request"; }
+        string head = "HTTP/1.1 " + status + " " + reason + "\\r\\n";
+        if (sendServerHeader) { head = head + "Server: jetty\\r\\n"; }
+        Net.write(fd, head
+            + "Content-Type: " + contentType + "\\r\\n"
+            + "Content-Length: " + body.length() + "\\r\\n"
+            + "\\r\\n" + body);
+    }
+}
+"""
+
+_CONNECTION_516 = _CONNECTION_515.replace(
+    """class HttpConnection {
+    int fd;
+    int requestsServed;
+    HttpConnection(int fd0) { this.fd = fd0; }""",
+    """class HttpConnection {
+    int fd;
+    int requestsServed;
+    HttpConnection(int fd0) { this.fd = fd0; }
+    bool shouldLinger() { return requestsServed < HttpConfig.maxKeepAlive; }""",
+)
+
+VERSION_516 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_515, _REQUEST_515, _MIME_512, _RESPONSE_516, _CONNECTION_516]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.7 — fields move: ServerStats gains 5xx tracking, loses nothing;
+# MimeTypes gains a default field; HttpRequest drops the header array cap
+# field in favour of a growth flag (add+delete).
+
+_CONFIG_517 = _CONFIG_515.replace(
+    """class ServerStats {
+    static int requests;
+    static int responses4xx;
+    static int cacheHits;
+    static int bytesServed;
+}""",
+    """class ServerStats {
+    static int requests;
+    static int responses4xx;
+    static int responses5xx;
+    static int cacheHits;
+    static int bytesServed;
+}""",
+)
+
+_MIME_517 = """
+class MimeTypes {
+    static string fallback = "application/octet-stream";
+    static string of(string path) {
+        if (path.endsWith(".html")) { return "text/html"; }
+        if (path.endsWith(".txt")) { return "text/plain"; }
+        if (path.endsWith(".bin")) { return "application/binary"; }
+        return MimeTypes.fallback;
+    }
+}
+"""
+
+_REQUEST_517 = _REQUEST_515.replace(
+    """    string[] headerLines;
+    int headerCount;""",
+    """    string[] headerLines;
+    int headerCount;
+    bool headersOverflowed;""",
+).replace(
+    """    void addHeader(string line) {
+        if (headerCount < 32) {
+            headerLines[headerCount] = line;
+            headerCount = headerCount + 1;
+        }
+    }""",
+    """    void addHeader(string line) {
+        if (headerCount < 32) {
+            headerLines[headerCount] = line;
+            headerCount = headerCount + 1;
+        } else {
+            this.headersOverflowed = true;
+        }
+    }""",
+)
+
+VERSION_517 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_517, _REQUEST_517, _MIME_517, _RESPONSE_516, _CONNECTION_516]
+)
+
+# ---------------------------------------------------------------------------
+# 5.1.8 / 5.1.9 / 5.1.10 — small body-only maintenance releases.
+
+_CONNECTION_518 = _CONNECTION_516.replace(
+    """    void sendError(int code) {
+        HttpResponse response = new HttpResponse(fd);
+        response.status = code;
+        response.body = "error";
+        response.send("text/plain");
+    }""",
+    """    void sendError(int code) {
+        HttpResponse response = new HttpResponse(fd);
+        response.status = code;
+        response.body = "bad request";
+        response.send("text/plain");
+    }""",
+)
+
+VERSION_518 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_517, _REQUEST_517, _MIME_517, _RESPONSE_516, _CONNECTION_518]
+)
+
+_MIME_519 = _MIME_517.replace(
+    """        if (path.endsWith(".txt")) { return "text/plain"; }""",
+    """        if (path.endsWith(".txt")) { return "text/plain; charset=utf-8"; }""",
+)
+
+VERSION_519 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_517, _REQUEST_517, _MIME_519, _RESPONSE_516, _CONNECTION_518]
+)
+
+_CONNECTION_5110 = _CONNECTION_518.replace(
+    """        int served = 0;
+        bool open = true;
+        while (open && served < HttpConfig.maxKeepAlive) {""",
+    """        int served = 0;
+        bool open = true;
+        while (open && served < HttpConfig.maxKeepAlive && Net.isOpen(fd)) {""",
+)
+
+_CONFIG_5110 = _CONFIG_517.replace(
+    """        HttpConfig.maxKeepAlive = 20;""",
+    """        HttpConfig.maxKeepAlive = 25;""",
+)
+
+VERSION_5110 = "\n".join(
+    [_MAIN, _JOBQUEUE, _SERVER_513, _CONFIG_5110, _REQUEST_517, _MIME_519, _RESPONSE_516, _CONNECTION_5110]
+)
+
+#: release history in order
+VERSIONS = {
+    "5.1.0": VERSION_510,
+    "5.1.1": VERSION_511,
+    "5.1.2": VERSION_512,
+    "5.1.3": VERSION_513,
+    "5.1.4": VERSION_514,
+    "5.1.5": VERSION_515,
+    "5.1.6": VERSION_516,
+    "5.1.7": VERSION_517,
+    "5.1.8": VERSION_518,
+    "5.1.9": VERSION_519,
+    "5.1.10": VERSION_5110,
+}
+
+MAIN_CLASS = "HttpServer"
+
+#: the defaults suffice for every jetty update (new fields start at their
+#: zero values and the serving logic re-derives them)
+TRANSFORMER_OVERRIDES = {}

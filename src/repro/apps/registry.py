@@ -1,0 +1,102 @@
+"""Registry of the three benchmark applications and their release
+histories, plus the paper's expected outcome for every update (the
+Experience table, §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .crossftp import versions as crossftp
+from .javaemail import versions as javaemail
+from .jetty import versions as jetty
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    name: str
+    versions: Dict[str, str]
+    main_class: str
+    transformer_overrides: Dict[Tuple[str, str], Dict[str, str]]
+    #: the port the app's primary protocol listens on
+    port: int
+
+
+APPS: Dict[str, AppInfo] = {
+    "jetty": AppInfo(
+        "jetty", jetty.VERSIONS, jetty.MAIN_CLASS, jetty.TRANSFORMER_OVERRIDES,
+        jetty.HTTP_PORT,
+    ),
+    "javaemail": AppInfo(
+        "javaemail", javaemail.VERSIONS, javaemail.MAIN_CLASS,
+        javaemail.TRANSFORMER_OVERRIDES, javaemail.SMTP_PORT,
+    ),
+    "crossftp": AppInfo(
+        "crossftp", crossftp.VERSIONS, crossftp.MAIN_CLASS,
+        crossftp.TRANSFORMER_OVERRIDES, crossftp.FTP_PORT,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ExpectedOutcome:
+    """What the paper reports for one update."""
+
+    app: str
+    from_version: str
+    to_version: str
+    #: "applied" or "aborted"
+    paper_outcome: str
+    #: True when the paper notes OSR was needed
+    paper_osr: bool = False
+    #: True when the update only applies while the server is idle (§4.4)
+    idle_only: bool = False
+    note: str = ""
+
+
+def update_pairs(app: str) -> List[Tuple[str, str]]:
+    order = list(APPS[app].versions)
+    return list(zip(order, order[1:]))
+
+
+#: The paper's §4 results: 22 updates, 20 applied, 2 aborted.
+EXPECTED_OUTCOMES: List[ExpectedOutcome] = (
+    [
+        ExpectedOutcome(
+            "jetty", a, b,
+            "aborted" if b == "5.1.3" else "applied",
+            note="acceptSocket/PoolThread.run always on stack" if b == "5.1.3" else "",
+        )
+        for a, b in update_pairs("jetty")
+    ]
+    + [
+        ExpectedOutcome(
+            "javaemail", a, b,
+            "aborted" if b == "1.3" else "applied",
+            paper_osr=b in ("1.3.2", "1.3.3"),
+            note={
+                "1.3": "config rework changes infinite accept loops",
+                "1.3.2": "paper's Figure 2/3 example; OSR on processor loops",
+                "1.3.3": "OSR on processor loops",
+            }.get(b, ""),
+        )
+        for a, b in update_pairs("javaemail")
+    ]
+    + [
+        ExpectedOutcome(
+            "crossftp", a, b, "applied",
+            idle_only=(b == "1.08"),
+            note="applies only when no sessions are active" if b == "1.08" else "",
+        )
+        for a, b in update_pairs("crossftp")
+    ]
+)
+
+
+def expected_outcome(app: str, from_version: str, to_version: str) -> Optional[ExpectedOutcome]:
+    for outcome in EXPECTED_OUTCOMES:
+        if (outcome.app, outcome.from_version, outcome.to_version) == (
+            app, from_version, to_version,
+        ):
+            return outcome
+    return None

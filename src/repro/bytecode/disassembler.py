@@ -1,0 +1,46 @@
+"""Human-readable listings of class files and methods (debugging aid)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .classfile import ClassFile, MethodInfo
+
+
+def disassemble_method(method: MethodInfo, constant_pool=None) -> str:
+    """Return a javap-style listing of one method."""
+    flags = []
+    if method.is_static:
+        flags.append("static")
+    if method.is_native:
+        flags.append("native")
+    header = f"{method.access} {' '.join(flags + [method.name])}{method.descriptor}"
+    lines: List[str] = [header, f"  max_locals={method.max_locals}"]
+    for pc, instr in enumerate(method.instructions):
+        operand = ""
+        if instr.a is not None:
+            operand += f" {instr.a!r}" if isinstance(instr.a, str) else f" {instr.a}"
+        if instr.b is not None:
+            operand += f" {instr.b}"
+        lines.append(f"  {pc:4d}: {instr.op}{operand}")
+    return "\n".join(lines)
+
+
+def disassemble_class(classfile: ClassFile) -> str:
+    """Return a javap-style listing of a whole class file."""
+    extends = f" extends {classfile.superclass}" if classfile.superclass else ""
+    lines = [f"class {classfile.name}{extends} (version {classfile.source_version!r})"]
+    for field_info in classfile.fields:
+        flags = []
+        if field_info.is_static:
+            flags.append("static")
+        if field_info.is_final:
+            flags.append("final")
+        flag_text = (" ".join(flags) + " ") if flags else ""
+        lines.append(
+            f"  {field_info.access} {flag_text}{field_info.name}: {field_info.descriptor}"
+        )
+    for method in classfile.methods.values():
+        body = disassemble_method(method, classfile.constant_pool)
+        lines.extend("  " + line for line in body.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""The jmini bytecode instruction set.
+
+A stack machine in the JVM mould. Instructions in *class files* are
+symbolic: field and method references name their owner class and member.
+The JIT (:mod:`repro.vm.jit`) later *resolves* them into machine code with
+baked numeric offsets — which is exactly what makes the paper's category-(2)
+"indirect method updates" necessary: symbolic references survive a class
+layout change, baked offsets do not.
+
+Operand conventions (``a``, ``b`` fields):
+
+===============  ====================================================
+opcode           operands
+===============  ====================================================
+CONST_INT        a = int value
+CONST_BOOL       a = True/False
+CONST_STR        a = the literal string itself (the class-file constant
+                 pool records literals for tooling, but bytecode identity
+                 must not depend on pool numbering)
+CONST_NULL       —
+LOAD / STORE     a = local slot
+POP / DUP / SWAP —
+ADD..NEG         — (int arithmetic)
+EQ..GE           — (int comparison, pushes bool)
+NOT              — (bool negation)
+I2S / B2S        — (int/bool to string conversion)
+SCONCAT          — (string concatenation)
+SEQ              — (string value equality, null-safe)
+REF_EQ           — (reference identity)
+NEW              a = class name
+NEWARRAY         a = element type descriptor
+GETFIELD         a = owner class name, b = field name
+PUTFIELD         a = owner class name, b = field name
+GETSTATIC        a = owner class name, b = field name
+PUTSTATIC        a = owner class name, b = field name
+ALOAD / ASTORE   — (array element read / write)
+ARRAYLENGTH      —
+CHECKCAST        a = type descriptor
+INSTANCEOF       a = type descriptor
+INVOKEVIRTUAL    a = static receiver class name, b = (name, descriptor)
+INVOKESTATIC     a = owner class name, b = (name, descriptor)
+INVOKESPECIAL    a = owner class name, b = (name, descriptor)  [ctor/super]
+INVOKENATIVE     a = native name, b = (argc, return_descriptor)
+JUMP             a = target pc
+JUMP_IF_FALSE    a = target pc
+JUMP_IF_TRUE     a = target pc
+RETURN           —
+RETURN_VALUE     —
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One symbolic bytecode instruction."""
+
+    op: str
+    a: Any = None
+    b: Any = None
+
+    def __str__(self) -> str:
+        parts = [self.op]
+        if self.a is not None:
+            parts.append(repr(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        return " ".join(parts)
+
+
+OPCODES: FrozenSet[str] = frozenset(
+    {
+        "CONST_INT",
+        "CONST_BOOL",
+        "CONST_STR",
+        "CONST_NULL",
+        "LOAD",
+        "STORE",
+        "POP",
+        "DUP",
+        "SWAP",
+        "ADD",
+        "SUB",
+        "MUL",
+        "DIV",
+        "MOD",
+        "NEG",
+        "EQ",
+        "NE",
+        "LT",
+        "LE",
+        "GT",
+        "GE",
+        "NOT",
+        "I2S",
+        "B2S",
+        "SCONCAT",
+        "SEQ",
+        "REF_EQ",
+        "NEW",
+        "NEWARRAY",
+        "GETFIELD",
+        "PUTFIELD",
+        "GETSTATIC",
+        "PUTSTATIC",
+        "ALOAD",
+        "ASTORE",
+        "ARRAYLENGTH",
+        "CHECKCAST",
+        "INSTANCEOF",
+        "INVOKEVIRTUAL",
+        "INVOKESTATIC",
+        "INVOKESPECIAL",
+        "INVOKENATIVE",
+        "JUMP",
+        "JUMP_IF_FALSE",
+        "JUMP_IF_TRUE",
+        "RETURN",
+        "RETURN_VALUE",
+    }
+)
+
+#: Opcodes that transfer control; ``a`` is the target pc.
+BRANCH_OPS = frozenset({"JUMP", "JUMP_IF_FALSE", "JUMP_IF_TRUE"})
+
+#: Opcodes after which control does not fall through.
+TERMINAL_OPS = frozenset({"JUMP", "RETURN", "RETURN_VALUE"})
+
+#: Opcodes that may trigger a garbage collection (allocation sites).
+ALLOCATING_OPS = frozenset({"NEW", "NEWARRAY", "SCONCAT", "I2S", "B2S", "CONST_STR"})
+
+#: Opcodes whose resolution bakes a layout offset of class ``a`` into
+#: machine code. Used by the UPT to compute indirect (category-2) methods.
+LAYOUT_SENSITIVE_OPS = frozenset(
+    {"GETFIELD", "PUTFIELD", "GETSTATIC", "PUTSTATIC", "INVOKEVIRTUAL", "NEW"}
+)
+
+
+def referenced_classes(instructions) -> FrozenSet[str]:
+    """Classes whose layout the compiled form of ``instructions`` bakes in.
+
+    Mirrors the paper's definition of category-(2) methods: any method whose
+    machine code contains hard-coded field offsets or TIB indices of an
+    updated class must be recompiled even if its bytecode is unchanged.
+    ``INVOKESTATIC``/``INVOKESPECIAL`` resolve through the JTOC-style method
+    table, which is stable across layout changes, so they do not count —
+    but a signature change shows up as changed *bytecode* in callers anyway.
+    """
+    names = set()
+    for instr in instructions:
+        if instr.op in LAYOUT_SENSITIVE_OPS:
+            names.add(instr.a)
+    return frozenset(names)
+
+
+def validate_instruction(instr: Instr, code_length: int) -> Optional[str]:
+    """Structural validity check; returns an error message or ``None``."""
+    if instr.op not in OPCODES:
+        return f"unknown opcode {instr.op!r}"
+    if instr.op in BRANCH_OPS:
+        if not isinstance(instr.a, int) or not 0 <= instr.a <= code_length:
+            return f"branch target {instr.a!r} out of range"
+    if instr.op in ("LOAD", "STORE") and (not isinstance(instr.a, int) or instr.a < 0):
+        return f"bad local slot {instr.a!r}"
+    return None

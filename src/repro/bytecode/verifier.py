@@ -1,0 +1,603 @@
+"""Bytecode verification by abstract interpretation.
+
+The verifier plays two roles, both taken from the paper:
+
+1. **Type safety.** Jvolve "relies on bytecode verification to statically
+   type-check updated classes" (§1). Every class file the classloader
+   installs — including every class of a dynamic update — runs through this
+   verifier first.
+2. **Stack maps.** "The compiler generates a stack map at every VM safe
+   point" (§3.4). The verifier's per-pc type states are exactly those maps:
+   for each instruction we know which local slots and operand-stack slots
+   hold references, which is how the garbage collector enumerates roots in
+   frames.
+
+The verifier also enforces access modifiers (private/protected field and
+method access) and final-field assignment at the bytecode level. Transformer
+classes compiled by :mod:`repro.compiler.jastadd` deliberately violate these
+rules; the VM verifies them with ``access_override=True``, mirroring the
+paper's "we have to modify the VM to allow it in this special circumstance"
+(§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.types import (
+    BOOL,
+    INT,
+    NULL,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    NullType,
+    StringType,
+    SubtypeOracle,
+    Type,
+    class_type,
+    parse_descriptor,
+    parse_method_descriptor,
+)
+from .classfile import CLINIT_NAME, CTOR_NAME, ClassFile, FieldInfo, MethodInfo
+from .instructions import TERMINAL_OPS, Instr, validate_instruction
+
+
+class VerifyError(Exception):
+    """Raised when a method fails bytecode verification."""
+
+    def __init__(self, message: str, class_name: str = "?", method: str = "?", pc: int = -1):
+        super().__init__(f"{class_name}.{method} @pc {pc}: {message}")
+        self.class_name = class_name
+        self.method = method
+        self.pc = pc
+
+
+class _Uninit:
+    """Abstract value for a local slot before its first store."""
+
+    descriptor = "U"
+
+    def is_reference(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "uninit"
+
+
+UNINIT = _Uninit()
+
+_AbstractValue = object  # Type | _Uninit
+
+
+@dataclass
+class TypeState:
+    """Abstract machine state at one pc: local and operand-stack types."""
+
+    locals: Tuple[_AbstractValue, ...]
+    stack: Tuple[_AbstractValue, ...]
+
+    def reference_map(self) -> Tuple[Tuple[bool, ...], Tuple[bool, ...]]:
+        """(locals_are_refs, stack_are_refs) — what the GC scans."""
+        local_refs = tuple(
+            isinstance(v, Type) and v.is_reference() for v in self.locals
+        )
+        stack_refs = tuple(
+            isinstance(v, Type) and v.is_reference() for v in self.stack
+        )
+        return local_refs, stack_refs
+
+
+@dataclass
+class VerifiedMethod:
+    """Verification result: the method plus its per-pc stack maps."""
+
+    class_name: str
+    method: MethodInfo
+    states: Dict[int, TypeState]
+    max_stack: int
+
+    def stack_map_at(self, pc: int) -> TypeState:
+        return self.states[pc]
+
+
+class ClassTable:
+    """Hierarchy/member lookups over a set of class files."""
+
+    def __init__(self, classfiles: Dict[str, ClassFile]):
+        self.classfiles = classfiles
+        self.oracle = SubtypeOracle(self.superclass_of)
+
+    def superclass_of(self, name: str) -> Optional[str]:
+        classfile = self.classfiles.get(name)
+        return classfile.superclass if classfile else None
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classfiles
+
+    def lookup_field(self, class_name: str, field_name: str) -> Optional[Tuple[str, FieldInfo]]:
+        current: Optional[str] = class_name
+        while current is not None:
+            classfile = self.classfiles.get(current)
+            if classfile is None:
+                return None
+            for field_info in classfile.fields:
+                if field_info.name == field_name:
+                    return current, field_info
+            current = classfile.superclass
+        return None
+
+    def lookup_method(
+        self, class_name: str, name: str, descriptor: str
+    ) -> Optional[Tuple[str, MethodInfo]]:
+        current: Optional[str] = class_name
+        while current is not None:
+            classfile = self.classfiles.get(current)
+            if classfile is None:
+                return None
+            method = classfile.get_method(name, descriptor)
+            if method is not None:
+                return current, method
+            current = classfile.superclass
+        return None
+
+
+class Verifier:
+    """Verifies methods against a class table."""
+
+    def __init__(self, table: ClassTable, access_override: bool = False):
+        self.table = table
+        self.access_override = access_override
+
+    # ------------------------------------------------------------------
+    # entry points
+
+    def verify_class(self, classfile: ClassFile) -> Dict[Tuple[str, str], VerifiedMethod]:
+        results = {}
+        for key, method in classfile.methods.items():
+            if method.is_native:
+                continue
+            results[key] = self.verify_method(classfile.name, method)
+        return results
+
+    def verify_method(self, class_name: str, method: MethodInfo) -> VerifiedMethod:
+        code = method.instructions
+        if not code:
+            raise VerifyError("empty code", class_name, method.name)
+        for pc, instr in enumerate(code):
+            problem = validate_instruction(instr, len(code))
+            if problem:
+                raise VerifyError(problem, class_name, method.name, pc)
+        if code[-1].op not in TERMINAL_OPS:
+            raise VerifyError(
+                "control may fall off the end of the method", class_name, method.name,
+                len(code) - 1,
+            )
+        entry = self._entry_state(class_name, method)
+        states: Dict[int, TypeState] = {0: entry}
+        worklist = [0]
+        max_stack = 0
+        while worklist:
+            pc = worklist.pop()
+            state = states[pc]
+            max_stack = max(max_stack, len(state.stack))
+            for successor, new_state in self._transfer(class_name, method, pc, state):
+                if successor >= len(code):
+                    raise VerifyError(
+                        "branch past end of code", class_name, method.name, pc
+                    )
+                existing = states.get(successor)
+                if existing is None:
+                    states[successor] = new_state
+                    worklist.append(successor)
+                else:
+                    merged = self._merge(existing, new_state, class_name, method, successor)
+                    if merged is not None:
+                        states[successor] = merged
+                        worklist.append(successor)
+        return VerifiedMethod(class_name, method, states, max_stack)
+
+    # ------------------------------------------------------------------
+    # state handling
+
+    def _entry_state(self, class_name: str, method: MethodInfo) -> TypeState:
+        params, _ = parse_method_descriptor(method.descriptor)
+        slots: List[_AbstractValue] = []
+        if not method.is_static:
+            slots.append(class_type(class_name))
+        slots.extend(params)
+        while len(slots) < method.max_locals:
+            slots.append(UNINIT)
+        if len(slots) > method.max_locals:
+            raise VerifyError(
+                f"max_locals {method.max_locals} smaller than parameter count",
+                class_name,
+                method.name,
+            )
+        return TypeState(tuple(slots), ())
+
+    def _merge(
+        self, old: TypeState, new: TypeState, class_name, method, pc
+    ) -> Optional[TypeState]:
+        if len(old.stack) != len(new.stack):
+            raise VerifyError(
+                f"operand stack depth mismatch at merge ({len(old.stack)} vs "
+                f"{len(new.stack)})",
+                class_name,
+                method.name,
+                pc,
+            )
+        changed = False
+        merged_locals = []
+        for left, right in zip(old.locals, new.locals):
+            value = self._merge_value(left, right, class_name, method, pc, "local")
+            changed = changed or value is not left
+            merged_locals.append(value)
+        merged_stack = []
+        for left, right in zip(old.stack, new.stack):
+            value = self._merge_value(left, right, class_name, method, pc, "stack")
+            changed = changed or value is not left
+            merged_stack.append(value)
+        if not changed:
+            return None
+        return TypeState(tuple(merged_locals), tuple(merged_stack))
+
+    def _merge_value(self, left, right, class_name, method, pc, where):
+        if left is right:
+            return left
+        if left is UNINIT or right is UNINIT:
+            if where == "stack":
+                raise VerifyError(
+                    "uninitialized value on operand stack at merge",
+                    class_name,
+                    method.name,
+                    pc,
+                )
+            return UNINIT
+        assert isinstance(left, Type) and isinstance(right, Type)
+        if left.is_reference() and right.is_reference():
+            try:
+                return self.table.oracle.join(left, right)
+            except ValueError as exc:
+                raise VerifyError(str(exc), class_name, method.name, pc)
+        raise VerifyError(
+            f"incompatible {where} types at merge: {left} vs {right}",
+            class_name,
+            method.name,
+            pc,
+        )
+
+    # ------------------------------------------------------------------
+    # transfer function
+
+    def _transfer(self, class_name: str, method: MethodInfo, pc: int, state: TypeState):
+        """Yield (successor_pc, state_after) pairs for the instruction at pc."""
+        instr = method.instructions[pc]
+        op = instr.op
+        locals_ = list(state.locals)
+        stack = list(state.stack)
+
+        def err(message: str) -> VerifyError:
+            return VerifyError(message, class_name, method.name, pc)
+
+        def pop() -> _AbstractValue:
+            if not stack:
+                raise err("operand stack underflow")
+            return stack.pop()
+
+        def pop_int():
+            value = pop()
+            if value is not INT:
+                raise err(f"expected int on stack, found {value}")
+
+        def pop_bool():
+            value = pop()
+            if value is not BOOL:
+                raise err(f"expected bool on stack, found {value}")
+
+        def pop_ref() -> Type:
+            value = pop()
+            if not isinstance(value, Type) or not value.is_reference():
+                raise err(f"expected reference on stack, found {value}")
+            return value
+
+        def pop_assignable(target: Type):
+            value = pop()
+            if not isinstance(value, Type) or not self.table.oracle.is_assignable(
+                value, target
+            ):
+                raise err(f"cannot pass {value} where {target} expected")
+
+        def push(value: _AbstractValue):
+            stack.append(value)
+
+        def out(*successors):
+            new_state = TypeState(tuple(locals_), tuple(stack))
+            return [(s, new_state) for s in successors]
+
+        next_pc = pc + 1
+
+        if op == "CONST_INT":
+            push(INT)
+            return out(next_pc)
+        if op == "CONST_BOOL":
+            push(BOOL)
+            return out(next_pc)
+        if op == "CONST_STR":
+            push(STRING)
+            return out(next_pc)
+        if op == "CONST_NULL":
+            push(NULL)
+            return out(next_pc)
+        if op == "LOAD":
+            if instr.a >= len(locals_):
+                raise err(f"load from slot {instr.a} out of range")
+            value = locals_[instr.a]
+            if value is UNINIT:
+                raise err(f"load from uninitialized slot {instr.a}")
+            push(value)
+            return out(next_pc)
+        if op == "STORE":
+            if instr.a >= len(locals_):
+                raise err(f"store to slot {instr.a} out of range")
+            value = pop()
+            if value is UNINIT:
+                raise err("store of uninitialized value")
+            previous = locals_[instr.a]
+            if previous is not UNINIT and previous is not value:
+                # One static type per slot (DESIGN.md §5): widen only within
+                # the reference lattice; primitives must match exactly.
+                if not (
+                    isinstance(previous, Type)
+                    and isinstance(value, Type)
+                    and previous.is_reference()
+                    and value.is_reference()
+                ):
+                    raise err(
+                        f"slot {instr.a} stores conflicting types "
+                        f"{previous} and {value}"
+                    )
+            locals_[instr.a] = value
+            return out(next_pc)
+        if op == "POP":
+            pop()
+            return out(next_pc)
+        if op == "DUP":
+            value = pop()
+            push(value)
+            push(value)
+            return out(next_pc)
+        if op == "SWAP":
+            first = pop()
+            second = pop()
+            push(first)
+            push(second)
+            return out(next_pc)
+        if op in ("ADD", "SUB", "MUL", "DIV", "MOD"):
+            pop_int()
+            pop_int()
+            push(INT)
+            return out(next_pc)
+        if op == "NEG":
+            pop_int()
+            push(INT)
+            return out(next_pc)
+        if op in ("EQ", "NE"):
+            left = pop()
+            right = pop()
+            for value in (left, right):
+                if value not in (INT, BOOL):
+                    raise err(f"EQ/NE operand must be int or bool, found {value}")
+            if left is not right:
+                raise err(f"EQ/NE operand mismatch: {left} vs {right}")
+            push(BOOL)
+            return out(next_pc)
+        if op in ("LT", "LE", "GT", "GE"):
+            pop_int()
+            pop_int()
+            push(BOOL)
+            return out(next_pc)
+        if op == "NOT":
+            pop_bool()
+            push(BOOL)
+            return out(next_pc)
+        if op == "I2S":
+            pop_int()
+            push(STRING)
+            return out(next_pc)
+        if op == "B2S":
+            pop_bool()
+            push(STRING)
+            return out(next_pc)
+        if op == "SCONCAT":
+            for _ in range(2):
+                value = pop()
+                if not isinstance(value, (StringType, NullType)):
+                    raise err(f"SCONCAT operand must be string, found {value}")
+            push(STRING)
+            return out(next_pc)
+        if op == "SEQ":
+            for _ in range(2):
+                value = pop()
+                if not isinstance(value, (StringType, NullType)):
+                    raise err(f"SEQ operand must be string, found {value}")
+            push(BOOL)
+            return out(next_pc)
+        if op == "REF_EQ":
+            pop_ref()
+            pop_ref()
+            push(BOOL)
+            return out(next_pc)
+        if op == "NEW":
+            if not self.table.has_class(instr.a):
+                raise err(f"NEW of unknown class {instr.a}")
+            push(class_type(instr.a))
+            return out(next_pc)
+        if op == "NEWARRAY":
+            pop_int()
+            element = parse_descriptor(instr.a)
+            from ..lang.types import array_type
+
+            push(array_type(element))
+            return out(next_pc)
+        if op in ("GETFIELD", "PUTFIELD"):
+            found = self.table.lookup_field(instr.a, instr.b)
+            if found is None:
+                raise err(f"unknown field {instr.a}.{instr.b}")
+            owner, field_info = found
+            if field_info.is_static:
+                raise err(f"{instr.a}.{instr.b} is static")
+            self._check_field_access(class_name, owner, field_info, err)
+            field_type = parse_descriptor(field_info.descriptor)
+            if op == "PUTFIELD":
+                self._check_final_store(class_name, method, owner, field_info, err)
+                pop_assignable(field_type)
+                pop_assignable(class_type(instr.a))
+            else:
+                pop_assignable(class_type(instr.a))
+                push(field_type)
+            return out(next_pc)
+        if op in ("GETSTATIC", "PUTSTATIC"):
+            found = self.table.lookup_field(instr.a, instr.b)
+            if found is None:
+                raise err(f"unknown field {instr.a}.{instr.b}")
+            owner, field_info = found
+            if not field_info.is_static:
+                raise err(f"{instr.a}.{instr.b} is not static")
+            self._check_field_access(class_name, owner, field_info, err)
+            field_type = parse_descriptor(field_info.descriptor)
+            if op == "PUTSTATIC":
+                self._check_final_store(class_name, method, owner, field_info, err)
+                pop_assignable(field_type)
+            else:
+                push(field_type)
+            return out(next_pc)
+        if op == "ALOAD":
+            pop_int()
+            array = pop_ref()
+            if not isinstance(array, ArrayType):
+                raise err(f"ALOAD on non-array {array}")
+            push(array.element)
+            return out(next_pc)
+        if op == "ASTORE":
+            value = pop()
+            pop_int()
+            array = pop_ref()
+            if not isinstance(array, ArrayType):
+                raise err(f"ASTORE on non-array {array}")
+            if not isinstance(value, Type) or not self.table.oracle.is_assignable(
+                value, array.element
+            ):
+                raise err(f"cannot store {value} into {array}")
+            return out(next_pc)
+        if op == "ARRAYLENGTH":
+            array = pop_ref()
+            if not isinstance(array, (ArrayType, NullType)):
+                raise err(f"ARRAYLENGTH on non-array {array}")
+            push(INT)
+            return out(next_pc)
+        if op == "CHECKCAST":
+            pop_ref()
+            push(parse_descriptor(instr.a))
+            return out(next_pc)
+        if op == "INSTANCEOF":
+            pop_ref()
+            push(BOOL)
+            return out(next_pc)
+        if op in ("INVOKEVIRTUAL", "INVOKESTATIC", "INVOKESPECIAL"):
+            name, descriptor = instr.b
+            found = self.table.lookup_method(instr.a, name, descriptor)
+            if found is None:
+                raise err(f"unknown method {instr.a}.{name}{descriptor}")
+            owner, target = found
+            self._check_method_access(class_name, owner, target, err)
+            params, return_type = parse_method_descriptor(descriptor)
+            for param in reversed(params):
+                pop_assignable(param)
+            if op == "INVOKEVIRTUAL":
+                if target.is_static:
+                    raise err(f"INVOKEVIRTUAL of static method {instr.a}.{name}")
+                pop_assignable(class_type(instr.a))
+            elif op == "INVOKESPECIAL":
+                pop_assignable(class_type(instr.a))
+            else:
+                if not target.is_static:
+                    raise err(f"INVOKESTATIC of instance method {instr.a}.{name}")
+            if return_type is not VOID:
+                push(return_type)
+            return out(next_pc)
+        if op == "INVOKENATIVE":
+            argc, return_descriptor = instr.b
+            for _ in range(argc):
+                pop()
+            return_type = parse_descriptor(return_descriptor)
+            if return_type is not VOID:
+                push(return_type)
+            return out(next_pc)
+        if op == "JUMP":
+            return out(instr.a)
+        if op in ("JUMP_IF_FALSE", "JUMP_IF_TRUE"):
+            pop_bool()
+            return out(instr.a, next_pc)
+        if op == "RETURN":
+            _, return_type = parse_method_descriptor(method.descriptor)
+            if return_type is not VOID:
+                # The code generator appends an unreachable trailing RETURN
+                # to value-returning methods; reaching one means a path
+                # completes without a value.
+                raise err("RETURN in non-void method")
+            return []
+        if op == "RETURN_VALUE":
+            _, return_type = parse_method_descriptor(method.descriptor)
+            if return_type is VOID:
+                raise err("RETURN_VALUE in void method")
+            value = pop()
+            if not isinstance(value, Type) or not self.table.oracle.is_assignable(
+                value, return_type
+            ):
+                raise err(f"cannot return {value} from method returning {return_type}")
+            return []
+        raise err(f"unhandled opcode {op}")
+
+    # ------------------------------------------------------------------
+    # access / final enforcement (the rules jastadd-compiled code may break)
+
+    def _check_field_access(self, class_name, owner, field_info: FieldInfo, err) -> None:
+        if self.access_override:
+            return
+        if field_info.access == "private" and owner != class_name:
+            raise err(f"illegal access to private field {owner}.{field_info.name}")
+        if field_info.access == "protected" and not self.table.oracle.is_subclass(
+            class_name, owner
+        ):
+            raise err(f"illegal access to protected field {owner}.{field_info.name}")
+
+    def _check_method_access(self, class_name, owner, target: MethodInfo, err) -> None:
+        if self.access_override:
+            return
+        if target.access == "private" and owner != class_name:
+            raise err(f"illegal access to private method {owner}.{target.name}")
+        if target.access == "protected" and not self.table.oracle.is_subclass(
+            class_name, owner
+        ):
+            raise err(f"illegal access to protected method {owner}.{target.name}")
+
+    def _check_final_store(self, class_name, method: MethodInfo, owner, field_info, err):
+        if self.access_override or not field_info.is_final:
+            return
+        in_initializer = (
+            method.name in (CTOR_NAME, CLINIT_NAME) and class_name == owner
+        )
+        if not in_initializer:
+            raise err(f"illegal store to final field {owner}.{field_info.name}")
+
+
+def verify_classfiles(
+    classfiles: Dict[str, ClassFile], access_override: bool = False
+) -> Dict[str, Dict[Tuple[str, str], VerifiedMethod]]:
+    """Verify every method of every class file against the full table."""
+    table = ClassTable(classfiles)
+    verifier = Verifier(table, access_override)
+    return {name: verifier.verify_class(cf) for name, cf in classfiles.items()}

@@ -1,0 +1,195 @@
+"""Command-line interface: compile, run, diff and dynamically update jmini
+programs from the shell.
+
+Examples::
+
+    python -m repro run server.jm --until-ms 2000
+    python -m repro disasm server.jm --class-name Handler
+    python -m repro diff old.jm new.jm
+    python -m repro update old.jm new.jm --at 500 --until-ms 3000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compiler.compile import compile_source
+from .bytecode.disassembler import disassemble_class
+from .dsu.engine import UpdateEngine
+from .dsu.upt import diff_programs, prepare_update
+from .vm.vm import VM
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _boot(source: str, filename: str, version: str, heap_cells: int) -> VM:
+    vm = VM(heap_cells=heap_cells)
+    vm.boot(compile_source(source, filename, version=version))
+    return vm
+
+
+def cmd_run(args) -> int:
+    source = _read(args.file)
+    vm = _boot(source, args.file, "cli", args.heap_cells)
+    vm.start_main(args.main)
+    vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
+    for line in vm.console:
+        print(line)
+    for trap in vm.trap_log:
+        print(f"[trap] {trap}", file=sys.stderr)
+    return 1 if vm.trap_log else 0
+
+
+def cmd_disasm(args) -> int:
+    classfiles = compile_source(_read(args.file), args.file)
+    names = [args.class_name] if args.class_name else sorted(classfiles)
+    for name in names:
+        if name not in classfiles:
+            print(f"no class {name!r} in {args.file}", file=sys.stderr)
+            return 1
+        print(disassemble_class(classfiles[name]))
+        print()
+    return 0
+
+
+def cmd_diff(args) -> int:
+    old = compile_source(_read(args.old), args.old, version=args.old_version)
+    new = compile_source(_read(args.new), args.new, version=args.new_version)
+    spec = diff_programs(old, new, args.old_version, args.new_version)
+    totals = spec.totals()
+    print(f"update {args.old_version} -> {args.new_version}")
+    print(f"  classes: +{totals['classes_added']} -{totals['classes_deleted']} "
+          f"~{totals['classes_changed']}")
+    print(f"  methods: +{totals['methods_added']} -{totals['methods_deleted']} "
+          f"body-changed {totals['methods_body_changed']} "
+          f"signature-changed {totals['methods_signature_changed']}")
+    print(f"  fields:  +{totals['fields_added']} -{totals['fields_deleted']} "
+          f"retyped {totals['fields_type_changed']}")
+    print(f"  class updates (layout/signature): {sorted(spec.class_updates) or '-'}")
+    print(f"  method body updates:   {sorted(spec.method_body_updates) or '-'}")
+    print(f"  indirect (category 2): {sorted(spec.indirect_methods) or '-'}")
+    print(f"  supportable by method-body-only systems: "
+          f"{'yes' if spec.method_body_only() else 'no'}")
+    if args.spec_out:
+        with open(args.spec_out, "w") as handle:
+            handle.write(spec.to_json() + "\n")
+        print(f"  specification written to {args.spec_out}")
+    return 0
+
+
+def cmd_update(args) -> int:
+    old_source = _read(args.old)
+    new_source = _read(args.new)
+    old = compile_source(old_source, args.old, version=args.old_version)
+    new = compile_source(new_source, args.new, version=args.new_version)
+    vm = VM(heap_cells=args.heap_cells)
+    vm.boot(old)
+    vm.start_main(args.main)
+    engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier)
+    overrides = None
+    if args.transformers:
+        # A file holding replacement method text per class, separated by
+        # lines of the form '=== ClassName'.
+        overrides = {}
+        current: Optional[str] = None
+        chunks: List[str] = []
+        for line in _read(args.transformers).splitlines():
+            if line.startswith("=== "):
+                if current is not None:
+                    overrides[current] = "\n".join(chunks)
+                current = line[4:].strip()
+                chunks = []
+            else:
+                chunks.append(line)
+        if current is not None:
+            overrides[current] = "\n".join(chunks)
+    prepared = prepare_update(
+        old, new, args.old_version, args.new_version,
+        transformer_overrides=overrides,
+    )
+    from .dsu.validation import validate_update
+
+    for warning in validate_update(old, prepared):
+        print(f"[warn] {warning}", file=sys.stderr)
+    vm.events.schedule(
+        args.at, lambda: engine.request_update(prepared, timeout_ms=args.timeout_ms)
+    )
+    vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
+    for line in vm.console:
+        print(line)
+    result = engine.history[-1] if engine.history else None
+    if result is None:
+        print("[update] never requested (program ended first?)", file=sys.stderr)
+        return 1
+    print(f"[update] {result.status}"
+          + (f": {result.reason}" if result.reason else "")
+          + (f" (pause {result.total_pause_ms:.2f} sim-ms, "
+             f"{result.objects_transformed} objects transformed)"
+             if result.succeeded else ""),
+          file=sys.stderr)
+    return 0 if result.succeeded else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jvolve reproduction: run and dynamically update jmini programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and run a jmini program")
+    run.add_argument("file")
+    run.add_argument("--main", default="Main")
+    run.add_argument("--until-ms", type=float, default=None)
+    run.add_argument("--max-instructions", type=int, default=50_000_000)
+    run.add_argument("--heap-cells", type=int, default=1 << 18)
+    run.set_defaults(fn=cmd_run)
+
+    disasm = sub.add_parser("disasm", help="disassemble compiled classes")
+    disasm.add_argument("file")
+    disasm.add_argument("--class-name", default=None)
+    disasm.set_defaults(fn=cmd_disasm)
+
+    diff = sub.add_parser("diff", help="UPT classification of two versions")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument("--old-version", default="1.0")
+    diff.add_argument("--new-version", default="2.0")
+    diff.add_argument("--spec-out", default=None,
+                      help="write the update specification file (JSON)")
+    diff.set_defaults(fn=cmd_diff)
+
+    update = sub.add_parser(
+        "update", help="run the old version and apply the new one dynamically"
+    )
+    update.add_argument("old")
+    update.add_argument("new")
+    update.add_argument("--old-version", default="1.0")
+    update.add_argument("--new-version", default="2.0")
+    update.add_argument("--main", default="Main")
+    update.add_argument("--at", type=float, default=100.0,
+                        help="simulated ms at which to request the update")
+    update.add_argument("--timeout-ms", type=float, default=15_000.0)
+    update.add_argument("--until-ms", type=float, default=10_000.0)
+    update.add_argument("--max-instructions", type=int, default=50_000_000)
+    update.add_argument("--heap-cells", type=int, default=1 << 18)
+    update.add_argument("--transformers", default=None,
+                        help="file of per-class transformer overrides "
+                             "separated by '=== ClassName' lines")
+    update.add_argument("--auto-read-barrier", action="store_true")
+    update.set_defaults(fn=cmd_update)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

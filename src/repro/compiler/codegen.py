@@ -1,0 +1,555 @@
+"""Bytecode generation: typed jmini AST -> :class:`ClassFile` objects.
+
+Slot discipline (relied on by the GC stack maps, DESIGN.md §5): slot 0 is
+``this`` for instance members, parameters follow in order, then each local
+variable gets its own fresh slot — slots are never reused across types.
+
+Every local is initialized at its declaration site (explicitly or with the
+type's default), so a slot's static type is established before any yield
+point can observe it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bytecode.classfile import CLINIT_NAME, CTOR_NAME, ClassFile, FieldInfo, MethodInfo
+from ..bytecode.instructions import Instr
+from ..lang import ast_nodes as ast
+from ..lang.errors import CodegenError
+from ..lang.stringops import lookup_string_method
+from ..lang.symbols import ProgramSymbols
+from ..lang.typechecker import TypeChecker
+from ..lang.types import (
+    BOOL,
+    INT,
+    STRING,
+    VOID,
+    NullType,
+    StringType,
+    Type,
+    method_descriptor,
+)
+
+
+class _LoopContext:
+    """Break/continue patch lists for one enclosing loop."""
+
+    def __init__(self):
+        self.break_patches: List[int] = []
+        self.continue_patches: List[int] = []
+        #: set when the continue target is known up front (while loops)
+        self.continue_target: Optional[int] = None
+
+
+class MethodCodegen:
+    """Generates bytecode for one method or constructor body."""
+
+    def __init__(
+        self,
+        symbols: ProgramSymbols,
+        checker: TypeChecker,
+        classfile: ClassFile,
+        class_name: str,
+        is_static: bool,
+        decl_id: int,
+    ):
+        self.symbols = symbols
+        self.checker = checker
+        self.classfile = classfile
+        self.class_name = class_name
+        self.is_static = is_static
+        self.code: List[Instr] = []
+        self._loops: List[_LoopContext] = []
+        self._this_offset = 0 if is_static else 1
+        locals_table = checker.local_tables.get(decl_id, {})
+        self._slots: Dict[str, int] = {
+            name: local.slot + self._this_offset for name, local in locals_table.items()
+        }
+        self.max_locals = checker.slot_counts.get(decl_id, 0) + self._this_offset
+
+    # ------------------------------------------------------------------
+    # emission helpers
+
+    def emit(self, op: str, a=None, b=None) -> int:
+        self.code.append(Instr(op, a, b))
+        return len(self.code) - 1
+
+    def emit_jump_placeholder(self, op: str) -> int:
+        """Emit a branch with an unknown target; patch later."""
+        return self.emit(op, -1)
+
+    def patch_jump(self, index: int, target: Optional[int] = None) -> None:
+        if target is None:
+            target = len(self.code)
+        old = self.code[index]
+        self.code[index] = Instr(old.op, target, old.b)
+
+    def slot_of(self, name: str) -> int:
+        return self._slots[name]
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def compile_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self.compile_stmt(statement)
+
+    def compile_stmt(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self.compile_block(statement)
+        elif isinstance(statement, ast.VarDecl):
+            if statement.initializer is not None:
+                self.compile_expr(statement.initializer)
+            else:
+                self._emit_default(statement.declared_type)
+            self.emit("STORE", self.slot_of(statement.name))
+        elif isinstance(statement, ast.Assign):
+            self._compile_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self.compile_expr(statement.expr)
+            if statement.expr.static_type is not VOID:
+                self.emit("POP")
+        elif isinstance(statement, ast.If):
+            self._compile_if(statement)
+        elif isinstance(statement, ast.While):
+            self._compile_while(statement)
+        elif isinstance(statement, ast.For):
+            self._compile_for(statement)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self.compile_expr(statement.value)
+                self.emit("RETURN_VALUE")
+            else:
+                self.emit("RETURN")
+        elif isinstance(statement, ast.Break):
+            if not self._loops:
+                raise CodegenError("break outside loop", statement.location)
+            self._loops[-1].break_patches.append(self.emit_jump_placeholder("JUMP"))
+        elif isinstance(statement, ast.Continue):
+            if not self._loops:
+                raise CodegenError("continue outside loop", statement.location)
+            loop = self._loops[-1]
+            if loop.continue_target is not None:
+                self.emit("JUMP", loop.continue_target)
+            else:
+                loop.continue_patches.append(self.emit_jump_placeholder("JUMP"))
+        else:
+            raise CodegenError(
+                f"unhandled statement {type(statement).__name__}", statement.location
+            )
+
+    def _emit_default(self, declared_type: Type) -> None:
+        if declared_type is INT:
+            self.emit("CONST_INT", 0)
+        elif declared_type is BOOL:
+            self.emit("CONST_BOOL", False)
+        else:
+            self.emit("CONST_NULL")
+
+    def _compile_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.NameRef):
+            if target.resolution == "local":
+                self.compile_expr(statement.value)
+                self.emit("STORE", self.slot_of(target.name))
+            elif target.resolution == "field":
+                self.emit("LOAD", 0)
+                self.compile_expr(statement.value)
+                self.emit("PUTFIELD", target.owner, target.name)
+            elif target.resolution == "static":
+                self.compile_expr(statement.value)
+                self.emit("PUTSTATIC", target.owner, target.name)
+            else:
+                raise CodegenError(f"unresolved name {target.name}", target.location)
+        elif isinstance(target, ast.FieldAccess):
+            if target.is_static_access:
+                self.compile_expr(statement.value)
+                self.emit("PUTSTATIC", target.owner, target.name)
+            else:
+                self.compile_expr(target.receiver)
+                self.compile_expr(statement.value)
+                self.emit("PUTFIELD", target.owner, target.name)
+        elif isinstance(target, ast.StaticFieldAccess):
+            self.compile_expr(statement.value)
+            self.emit("PUTSTATIC", target.owner, target.name)
+        elif isinstance(target, ast.ArrayIndex):
+            self.compile_expr(target.array)
+            self.compile_expr(target.index)
+            self.compile_expr(statement.value)
+            self.emit("ASTORE")
+        else:
+            raise CodegenError("invalid assignment target", statement.location)
+
+    def _compile_if(self, statement: ast.If) -> None:
+        self.compile_expr(statement.condition)
+        to_else = self.emit_jump_placeholder("JUMP_IF_FALSE")
+        self.compile_stmt(statement.then_branch)
+        if statement.else_branch is not None:
+            to_end = self.emit_jump_placeholder("JUMP")
+            self.patch_jump(to_else)
+            self.compile_stmt(statement.else_branch)
+            self.patch_jump(to_end)
+        else:
+            self.patch_jump(to_else)
+
+    def _compile_while(self, statement: ast.While) -> None:
+        loop = _LoopContext()
+        start = len(self.code)
+        loop.continue_target = start
+        self._loops.append(loop)
+        # `while (true)` compiles without the conditional branch (javac does
+        # the same); with no break the loop then has no normal exit, which
+        # keeps the verifier's reachability in sync with the type checker's
+        # definite-return analysis.
+        always_true = (
+            isinstance(statement.condition, ast.BoolLiteral) and statement.condition.value
+        )
+        to_end = None
+        if not always_true:
+            self.compile_expr(statement.condition)
+            to_end = self.emit_jump_placeholder("JUMP_IF_FALSE")
+        self.compile_stmt(statement.body)
+        self.emit("JUMP", start)  # back edge: implicit yield point
+        if to_end is not None:
+            self.patch_jump(to_end)
+        self._loops.pop()
+        for patch in loop.break_patches:
+            self.patch_jump(patch)
+
+    def _compile_for(self, statement: ast.For) -> None:
+        if statement.init is not None:
+            self.compile_stmt(statement.init)
+        loop = _LoopContext()
+        self._loops.append(loop)
+        start = len(self.code)
+        to_end = None
+        if statement.condition is not None:
+            self.compile_expr(statement.condition)
+            to_end = self.emit_jump_placeholder("JUMP_IF_FALSE")
+        self.compile_stmt(statement.body)
+        update_start = len(self.code)
+        for patch in loop.continue_patches:
+            self.patch_jump(patch, update_start)
+        if statement.update is not None:
+            self.compile_stmt(statement.update)
+        self.emit("JUMP", start)  # back edge
+        if to_end is not None:
+            self.patch_jump(to_end)
+        self._loops.pop()
+        for patch in loop.break_patches:
+            self.patch_jump(patch)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def compile_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            self.emit("CONST_INT", expr.value)
+        elif isinstance(expr, ast.BoolLiteral):
+            self.emit("CONST_BOOL", expr.value)
+        elif isinstance(expr, ast.StringLiteral):
+            # The literal itself is the operand (the constant pool records it
+            # for tooling, but bytecode identity must not depend on pool
+            # numbering — the UPT hashes method bodies across versions).
+            self.classfile.intern_string(expr.value)
+            self.emit("CONST_STR", expr.value)
+        elif isinstance(expr, ast.NullLiteral):
+            self.emit("CONST_NULL")
+        elif isinstance(expr, ast.ThisExpr):
+            self.emit("LOAD", 0)
+        elif isinstance(expr, ast.NameRef):
+            self._compile_name_ref(expr)
+        elif isinstance(expr, ast.Unary):
+            self.compile_expr(expr.operand)
+            self.emit("NOT" if expr.op == "!" else "NEG")
+        elif isinstance(expr, ast.Binary):
+            self._compile_binary(expr)
+        elif isinstance(expr, ast.FieldAccess):
+            self._compile_field_access(expr)
+        elif isinstance(expr, ast.StaticFieldAccess):
+            self.emit("GETSTATIC", expr.owner, expr.name)
+        elif isinstance(expr, ast.ArrayIndex):
+            self.compile_expr(expr.array)
+            self.compile_expr(expr.index)
+            self.emit("ALOAD")
+        elif isinstance(expr, ast.MethodCall):
+            self._compile_method_call(expr)
+        elif isinstance(expr, ast.StaticCall):
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("INVOKESTATIC", expr.owner, (expr.name, expr.descriptor))
+        elif isinstance(expr, ast.SuperCall):
+            self.emit("LOAD", 0)
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("INVOKESPECIAL", expr.owner, (expr.name, expr.descriptor))
+        elif isinstance(expr, ast.NewObject):
+            self.emit("NEW", expr.class_name)
+            self.emit("DUP")
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("INVOKESPECIAL", expr.class_name, (CTOR_NAME, expr.descriptor))
+        elif isinstance(expr, ast.NewArray):
+            self.compile_expr(expr.length)
+            self.emit("NEWARRAY", expr.element_type.descriptor)
+        elif isinstance(expr, ast.Cast):
+            self.compile_expr(expr.operand)
+            self.emit("CHECKCAST", expr.target_type.descriptor)
+        elif isinstance(expr, ast.InstanceOf):
+            self.compile_expr(expr.operand)
+            self.emit("INSTANCEOF", expr.tested_type.descriptor)
+        else:
+            raise CodegenError(f"unhandled expression {type(expr).__name__}", expr.location)
+
+    def _compile_name_ref(self, expr: ast.NameRef) -> None:
+        if expr.resolution == "local":
+            self.emit("LOAD", self.slot_of(expr.name))
+        elif expr.resolution == "field":
+            self.emit("LOAD", 0)
+            self.emit("GETFIELD", expr.owner, expr.name)
+        elif expr.resolution == "static":
+            self.emit("GETSTATIC", expr.owner, expr.name)
+        else:
+            raise CodegenError(f"unresolved name {expr.name}", expr.location)
+
+    def _compile_field_access(self, expr: ast.FieldAccess) -> None:
+        if expr.is_static_access:
+            self.emit("GETSTATIC", expr.owner, expr.name)
+            return
+        self.compile_expr(expr.receiver)
+        if expr.is_array_length:
+            self.emit("ARRAYLENGTH")
+        else:
+            self.emit("GETFIELD", expr.owner, expr.name)
+
+    def _compile_binary(self, expr: ast.Binary) -> None:
+        op = expr.op
+        if op == "&&":
+            self.compile_expr(expr.left)
+            to_false = self.emit_jump_placeholder("JUMP_IF_FALSE")
+            self.compile_expr(expr.right)
+            to_end = self.emit_jump_placeholder("JUMP")
+            self.patch_jump(to_false)
+            self.emit("CONST_BOOL", False)
+            self.patch_jump(to_end)
+            return
+        if op == "||":
+            self.compile_expr(expr.left)
+            to_true = self.emit_jump_placeholder("JUMP_IF_TRUE")
+            self.compile_expr(expr.right)
+            to_end = self.emit_jump_placeholder("JUMP")
+            self.patch_jump(to_true)
+            self.emit("CONST_BOOL", True)
+            self.patch_jump(to_end)
+            return
+        if op == "+" and expr.static_type is STRING:
+            self._compile_string_operand(expr.left)
+            self._compile_string_operand(expr.right)
+            self.emit("SCONCAT")
+            return
+        left_type = expr.left.static_type
+        right_type = expr.right.static_type
+        if op in ("==", "!="):
+            string_compare = isinstance(left_type, (StringType, NullType)) and isinstance(
+                right_type, (StringType, NullType)
+            ) and (isinstance(left_type, StringType) or isinstance(right_type, StringType))
+            reference_compare = (
+                left_type is not None
+                and left_type.is_reference()
+                and not string_compare
+            )
+            self.compile_expr(expr.left)
+            self.compile_expr(expr.right)
+            if string_compare:
+                self.emit("SEQ")
+            elif reference_compare:
+                self.emit("REF_EQ")
+            else:
+                self.emit("EQ")
+                if op == "!=":
+                    self.emit("NOT")
+                return
+            if op == "!=":
+                self.emit("NOT")
+            return
+        self.compile_expr(expr.left)
+        self.compile_expr(expr.right)
+        simple = {
+            "+": "ADD",
+            "-": "SUB",
+            "*": "MUL",
+            "/": "DIV",
+            "%": "MOD",
+            "<": "LT",
+            "<=": "LE",
+            ">": "GT",
+            ">=": "GE",
+        }
+        if op not in simple:
+            raise CodegenError(f"unhandled binary operator {op}", expr.location)
+        self.emit(simple[op])
+
+    def _compile_string_operand(self, expr: ast.Expr) -> None:
+        self.compile_expr(expr)
+        if expr.static_type is INT:
+            self.emit("I2S")
+        elif expr.static_type is BOOL:
+            self.emit("B2S")
+
+    def _compile_method_call(self, expr: ast.MethodCall) -> None:
+        if expr.kind == "string":
+            assert expr.receiver is not None
+            self.compile_expr(expr.receiver)
+            arg_types = []
+            for arg in expr.args:
+                self.compile_expr(arg)
+                arg_types.append(arg.static_type)
+            resolved = lookup_string_method(expr.name, arg_types)
+            assert resolved is not None
+            native_name, return_type, _params = resolved
+            self.emit(
+                "INVOKENATIVE", native_name, (len(expr.args) + 1, return_type.descriptor)
+            )
+            return
+        if expr.kind == "static":
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("INVOKESTATIC", expr.owner, (expr.name, expr.descriptor))
+            return
+        if expr.kind == "virtual":
+            if expr.receiver is not None:
+                self.compile_expr(expr.receiver)
+            else:
+                self.emit("LOAD", 0)
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("INVOKEVIRTUAL", expr.owner, (expr.name, expr.descriptor))
+            return
+        raise CodegenError(f"unresolved call to {expr.name}", expr.location)
+
+
+class ClassCodegen:
+    """Generates a :class:`ClassFile` for one class declaration."""
+
+    def __init__(self, symbols: ProgramSymbols, checker: TypeChecker, version: str = ""):
+        self.symbols = symbols
+        self.checker = checker
+        self.version = version
+
+    def compile_class(self, decl: ast.ClassDecl) -> ClassFile:
+        superclass = None if decl.name == "Object" else decl.superclass
+        classfile = ClassFile(decl.name, superclass, source_version=self.version)
+        for field_decl in decl.fields:
+            classfile.fields.append(
+                FieldInfo(
+                    field_decl.name,
+                    field_decl.declared_type.descriptor,
+                    field_decl.is_static,
+                    field_decl.is_final,
+                    field_decl.access,
+                )
+            )
+        for method_decl in decl.methods:
+            classfile.add_method(self._compile_method(decl, classfile, method_decl))
+        symbol = self.symbols.get_class(decl.name)
+        for ctor_symbol in symbol.constructors:
+            classfile.add_method(
+                self._compile_constructor(decl, classfile, ctor_symbol.decl, ctor_symbol)
+            )
+        clinit = self._compile_clinit(decl, classfile)
+        if clinit is not None:
+            classfile.add_method(clinit)
+        return classfile
+
+    def _compile_method(self, decl, classfile, method_decl: ast.MethodDecl) -> MethodInfo:
+        descriptor = method_descriptor(
+            [p.declared_type for p in method_decl.params], method_decl.return_type
+        )
+        if method_decl.is_native:
+            return MethodInfo(
+                method_decl.name,
+                descriptor,
+                method_decl.is_static,
+                True,
+                method_decl.access,
+                max_locals=len(method_decl.params)
+                + (0 if method_decl.is_static else 1),
+            )
+        codegen = MethodCodegen(
+            self.symbols,
+            self.checker,
+            classfile,
+            decl.name,
+            method_decl.is_static,
+            id(method_decl),
+        )
+        assert method_decl.body is not None
+        codegen.compile_block(method_decl.body)
+        # Trailing RETURN: for void methods this is the normal exit; for
+        # value-returning methods it is unreachable (definite-return analysis
+        # passed) but keeps the verifier's fall-through check simple.
+        codegen.emit("RETURN")
+        method = MethodInfo(
+            method_decl.name,
+            descriptor,
+            method_decl.is_static,
+            False,
+            method_decl.access,
+            codegen.max_locals,
+            codegen.code,
+        )
+        return method
+
+    def _compile_constructor(self, decl, classfile, ctor_decl, ctor_symbol) -> MethodInfo:
+        descriptor = method_descriptor(ctor_symbol.param_types, VOID)
+        decl_id = id(ctor_decl) if ctor_decl is not None else 0
+        codegen = MethodCodegen(self.symbols, self.checker, classfile, decl.name, False, decl_id)
+        if ctor_decl is None:
+            codegen.max_locals = 1  # just 'this'
+        superclass = self.symbols.get_class(decl.name).superclass
+        if superclass is not None:
+            codegen.emit("LOAD", 0)
+            super_args = ctor_decl.super_args if ctor_decl is not None else None
+            arg_types = []
+            if super_args:
+                for arg in super_args:
+                    codegen.compile_expr(arg)
+                    arg_types.append(arg.static_type)
+            super_ctor = self.symbols.resolve_constructor(superclass, arg_types)
+            assert super_ctor is not None
+            codegen.emit(
+                "INVOKESPECIAL", superclass, (CTOR_NAME, super_ctor.descriptor)
+            )
+        # Instance field initializers run after the super call (Java order).
+        for field_decl in decl.fields:
+            if field_decl.is_static or field_decl.initializer is None:
+                continue
+            codegen.emit("LOAD", 0)
+            codegen.compile_expr(field_decl.initializer)
+            codegen.emit("PUTFIELD", decl.name, field_decl.name)
+        if ctor_decl is not None:
+            codegen.compile_block(ctor_decl.body)
+        codegen.emit("RETURN")
+        return MethodInfo(
+            CTOR_NAME,
+            descriptor,
+            False,
+            False,
+            ctor_symbol.access,
+            codegen.max_locals,
+            codegen.code,
+        )
+
+    def _compile_clinit(self, decl, classfile) -> Optional[MethodInfo]:
+        static_inits = [
+            f for f in decl.fields if f.is_static and f.initializer is not None
+        ]
+        if not static_inits:
+            return None
+        codegen = MethodCodegen(self.symbols, self.checker, classfile, decl.name, True, 0)
+        for field_decl in static_inits:
+            codegen.compile_expr(field_decl.initializer)
+            codegen.emit("PUTSTATIC", decl.name, field_decl.name)
+        codegen.emit("RETURN")
+        return MethodInfo(CLINIT_NAME, "()V", True, False, "private", 0, codegen.code)

@@ -1,0 +1,630 @@
+"""The Jvolve update engine.
+
+Coordinates the whole dynamic update (paper §3):
+
+1. The user signals the VM with a :class:`~repro.dsu.upt.PreparedUpdate`.
+2. The engine raises the yield flag; threads stop at VM safe points.
+3. At each world-stop it checks for a DSU safe point (no restricted method
+   on any stack). If blocked, it installs return barriers on the topmost
+   restricted frames and waits; a configurable timeout (15 s in the paper)
+   aborts the update.
+4. At a DSU safe point it installs the modified classes — renaming old
+   versions (``v131_User``), reusing persistent method entries, building
+   fresh TIBs and JTOC slots, invalidating replaced machine code — then
+   OSR-replaces base-compiled category-(2) frames.
+5. It runs a whole-heap GC with the update map, then executes class
+   transformers and object transformers over the update log, with support
+   for recursive forced transformation and cycle detection (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..bytecode.classfile import CLINIT_NAME, ClassFile
+from ..vm.machinecode import MethodEntry
+from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
+from ..vm.rvmclass import RVMClass
+from .safepoint import (
+    RestrictedSets,
+    StackScan,
+    install_return_barriers,
+    resolve_restricted,
+    scan_stacks,
+)
+from .upt import TRANSFORMERS_CLASS, PreparedUpdate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.vm import VM
+
+DEFAULT_TIMEOUT_MS = 15_000.0
+
+APPLIED = "applied"
+ABORTED = "aborted"
+PENDING = "pending"
+
+
+class TransformerCycleError(Exception):
+    """Recursive object transformation revisited an in-progress object."""
+
+
+@dataclass
+class UpdateResult:
+    """Everything observable about one update attempt."""
+
+    old_version: str
+    new_version: str
+    status: str = PENDING
+    reason: str = ""
+    #: number of world-stops at which a safe point was checked
+    attempts: int = 0
+    used_return_barriers: bool = False
+    return_barriers_installed: int = 0
+    used_osr: bool = False
+    osr_frames: int = 0
+    #: frames of *changed* methods replaced via user-supplied mappings
+    #: (the §3.5 extended-OSR extension)
+    extended_osr_frames: int = 0
+    blockers_seen: Set[str] = field(default_factory=set)
+    #: pause breakdown in simulated ms: suspend/classload/osr/gc/transform
+    phase_ms: Dict[str, float] = field(default_factory=dict)
+    objects_transformed: int = 0
+    classes_installed: int = 0
+    requested_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+
+    @property
+    def total_pause_ms(self) -> float:
+        return sum(self.phase_ms.values())
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == APPLIED
+
+
+class _ActiveUpdate:
+    def __init__(self, prepared: PreparedUpdate, sets: RestrictedSets,
+                 result: UpdateResult, deadline_ms: float):
+        self.prepared = prepared
+        self.sets = sets
+        self.result = result
+        self.deadline_ms = deadline_ms
+        self.update_map: Dict[int, RVMClass] = {}
+        self.renamed: List[RVMClass] = []
+
+
+class UpdateEngine:
+    """Drives dynamic updates on one VM.
+
+    ``auto_read_barrier`` enables the §3.4/§3.5 extension: during the
+    transformation phase a GETFIELD on a not-yet-transformed object forces
+    its transformer automatically, so custom transformers need no explicit
+    ``Sys.forceTransform`` calls. Off by default (paper-faithful: "In our
+    current implementation, the programmer uses a special VM function").
+    """
+
+    def __init__(
+        self,
+        vm: "VM",
+        auto_read_barrier: bool = False,
+        eager_old_copy_reclaim: bool = False,
+    ):
+        self.vm = vm
+        self.auto_read_barrier = auto_read_barrier
+        #: §3.4 optimization: segregate old copies in a special region and
+        #: reclaim them the moment the transformers finish, instead of
+        #: waiting for the next collection
+        self.eager_old_copy_reclaim = eager_old_copy_reclaim
+        self.active: Optional[_ActiveUpdate] = None
+        self.history: List[UpdateResult] = []
+        self._transform_in_progress: Set[int] = set()
+        self._old_copy_of: Dict[int, int] = {}
+        vm.on_world_stopped = self._world_stopped
+        vm.return_barrier_hook = self._barrier_hit
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def request_update(
+        self, prepared: PreparedUpdate, timeout_ms: float = DEFAULT_TIMEOUT_MS
+    ) -> UpdateResult:
+        """Signal the VM that an update is available (paper step 2). The
+        returned result object is filled in as the update progresses."""
+        if self.active is not None:
+            raise RuntimeError("an update is already in progress")
+        vm = self.vm
+        result = UpdateResult(prepared.old_version, prepared.new_version)
+        result.requested_at_ms = vm.clock.now_ms
+        sets = resolve_restricted(vm, prepared.spec)
+        self.active = _ActiveUpdate(
+            prepared, sets, result, vm.clock.now_ms + timeout_ms
+        )
+        self.history.append(result)
+        vm.update_pending = True
+        vm.yield_flag = True
+        this_update = self.active
+        vm.events.schedule(
+            self.active.deadline_ms, lambda: self._timeout_check(this_update)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # world-stop protocol
+
+    def _timeout_check(self, expected: _ActiveUpdate) -> None:
+        if self.active is expected and self.active is not None:
+            self._abort(
+                f"timeout: no DSU safe point within the configured window; "
+                f"blockers: {sorted(self.active.result.blockers_seen)}"
+            )
+
+    def _world_stopped(self) -> None:
+        active = self.active
+        if active is None:
+            self.vm.update_pending = False
+            return
+        vm = self.vm
+        if vm.clock.now_ms >= active.deadline_ms:
+            self._abort(
+                f"timeout: no DSU safe point within the configured window; "
+                f"blockers: {sorted(active.result.blockers_seen)}"
+            )
+            return
+        active.result.attempts += 1
+        scan = scan_stacks(vm, active.sets, active.prepared.active_method_mappings)
+        if scan.is_safe:
+            self._apply(scan)
+            return
+        active.result.blockers_seen.update(scan.blocking_method_names())
+        installed = install_return_barriers(scan)
+        if installed:
+            active.result.used_return_barriers = True
+            active.result.return_barriers_installed += installed
+        # Defer: let threads run so restricted methods can return. The
+        # barrier (or the timeout event) re-arms the safe-point check.
+        vm.update_pending = False
+        vm.yield_flag = False
+
+    def _barrier_hit(self, thread, frame) -> None:
+        if self.active is None:
+            return
+        # A restricted method returned: retry the update at the next stop.
+        self.vm.update_pending = True
+        self.vm.yield_flag = True
+
+    def _abort(self, reason: str) -> None:
+        active = self.active
+        assert active is not None
+        vm = self.vm
+        active.result.status = ABORTED
+        active.result.reason = reason
+        active.result.finished_at_ms = vm.clock.now_ms
+        # Remove any barriers we installed.
+        for thread in vm.threads:
+            for frame in thread.frames:
+                frame.return_barrier = False
+        vm.update_pending = False
+        vm.yield_flag = False
+        self.active = None
+
+    # ------------------------------------------------------------------
+    # applying the update
+
+    def _apply(self, scan: StackScan) -> None:
+        active = self.active
+        assert active is not None
+        vm = self.vm
+        result = active.result
+        # The world is stopped; drop the yield flag so the synchronous
+        # transformer/clinit executions below run at full speed.
+        vm.yield_flag = False
+        phase_start = vm.clock.cycles
+
+        def end_phase(name: str) -> None:
+            nonlocal phase_start
+            now = vm.clock.cycles
+            result.phase_ms[name] = result.phase_ms.get(name, 0.0) + (
+                (now - phase_start) / vm.clock.costs.cycles_per_ms
+            )
+            phase_start = now
+
+        # Phase: thread suspension (already stopped; account the cost).
+        vm.clock.tick(
+            vm.clock.costs.thread_suspend * max(1, len(vm.runnable_threads()))
+        )
+        end_phase("suspend")
+
+        # Phase: install modified classes and transformers.
+        self._install_classes(active)
+        end_phase("classload")
+
+        # Phase: OSR of base-compiled category-(2) frames — after class
+        # installation, as the paper requires (§3.2) — and extended OSR of
+        # mapped changed-method frames (§3.5).
+        if scan.osr_candidates:
+            result.used_osr = True
+            result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
+        for frame, key in scan.extended_osr:
+            mapping = active.prepared.active_method_mappings[key]
+            try:
+                osr_replace_mapped(vm, frame, mapping.pc_map, mapping.locals_map)
+            except OSRError as exc:
+                # Classes are already installed; an unmappable frame is
+                # unrecoverable at this point — halt rather than resume a
+                # frame running retired code.
+                result.status = ABORTED
+                result.reason = f"extended OSR failed: {exc}"
+                result.finished_at_ms = vm.clock.now_ms
+                vm.update_pending = False
+                vm.halted = True
+                self.active = None
+                return
+            result.used_osr = True
+            result.extended_osr_frames += 1
+        end_phase("osr")
+
+        # Phase: whole-heap collection with the update map. The double copy
+        # of updated objects "adds temporary memory pressure" (§3.5); if
+        # to-space cannot hold it the update dies here, and since the
+        # collection is half-done the VM cannot resume either.
+        try:
+            stats = vm.collect(
+                update_map=active.update_map,
+                separate_old_copies=self.eager_old_copy_reclaim,
+            )
+        except MemoryError as exhausted:
+            result.status = ABORTED
+            result.reason = (
+                f"heap exhausted during the update collection ({exhausted}); "
+                "the double copy of updated objects needs more headroom"
+            )
+            result.finished_at_ms = vm.clock.now_ms
+            vm.update_pending = False
+            vm.halted = True
+            self.active = None
+            return
+        end_phase("gc")
+
+        # Phase: class transformers, then object transformers (§3.4).
+        vm.gc_disabled = True
+        vm.force_transform_hook = (
+            self._barrier_force if self.auto_read_barrier else self._force_transform
+        )
+        vm.transform_read_barrier = self.auto_read_barrier
+        try:
+            self._run_class_transformers(active)
+            self._run_object_transformers(active, stats.update_log)
+        except TransformerCycleError as cycle:
+            # "We detect cycles with a simple check, and abort the update"
+            # (§3.4). At this point the heap is partially transformed, so
+            # the abort is fatal: the VM halts rather than resuming a
+            # half-updated program.
+            vm.gc_disabled = False
+            vm.force_transform_hook = None
+            vm.transform_read_barrier = False
+            result.status = ABORTED
+            result.reason = str(cycle)
+            result.finished_at_ms = vm.clock.now_ms
+            vm.update_pending = False
+            vm.halted = True
+            self.active = None
+            return
+        finally:
+            vm.gc_disabled = False
+            vm.force_transform_hook = None
+            vm.transform_read_barrier = False
+        end_phase("transform")
+
+        # Cleanup: clear cached old-version pointers, retire old statics,
+        # and retire the transformer class ("Since the transformation class
+        # is only active and available during the update, the VM may delete
+        # it after transformation", §2.3).
+        for _, new_address in stats.update_log:
+            vm.objects.set_status(new_address, 0)
+        # "Once it processes all pairs, the log is deleted, making the
+        # duplicate old versions unreachable" (§3.4).
+        stats.update_log.clear()
+        self._old_copy_of.clear()
+        for old_class in active.renamed:
+            for name, slot in old_class.static_slots.items():
+                if old_class.static_is_ref.get(name):
+                    vm.jtoc.write(slot, 0)
+        self._retire_transformers(active)
+        if self.eager_old_copy_reclaim:
+            # The duplicates lived in a segregated region: give it back now
+            # rather than waiting for the next collection.
+            vm.heap.reset_ceiling()
+        end_phase("cleanup")
+
+        result.objects_transformed = stats.objects_updated
+        result.status = APPLIED
+        result.finished_at_ms = vm.clock.now_ms
+        vm.update_pending = False
+        vm.yield_flag = False
+        self.active = None
+
+    # ------------------------------------------------------------------
+    # class installation (paper §3.3)
+
+    def _install_classes(self, active: _ActiveUpdate) -> None:
+        vm = self.vm
+        prepared = active.prepared
+        spec = prepared.spec
+        prefix = prepared.prefix
+
+        # Capture the method entries of the classes being replaced, keyed
+        # by their original names, before any renaming.
+        carryover: Dict[Tuple[str, str, str], MethodEntry] = {}
+        old_classes: Dict[str, RVMClass] = {}
+        for name in spec.class_updates:
+            old_classes[name] = vm.registry.get(name)
+        for entry in vm.methods.all_entries():
+            if entry.obsolete:
+                continue
+            owner_name = entry.owner.name
+            if owner_name in old_classes and entry.owner is old_classes[owner_name]:
+                carryover[(owner_name, entry.info.name, entry.info.descriptor)] = entry
+
+        # 1. Rename old metadata (User -> v131_User) and swap in field-only
+        #    stub class files so transformer verification can see them.
+        for name, old_class in old_classes.items():
+            old_cf = vm.classfiles.pop(name)
+            stub = ClassFile(
+                prefix + name,
+                self._stub_superclass(old_cf.superclass, spec, prefix),
+                fields=list(old_cf.fields),
+                source_version=old_cf.source_version,
+            )
+            vm.registry.rename(old_class, prefix + name)
+            old_class.classfile = stub
+            old_class.obsolete = True
+            old_class.tib.invalidate_all()
+            vm.classfiles[prefix + name] = stub
+            active.renamed.append(old_class)
+        for name in spec.deleted_classes:
+            removed = vm.registry.maybe_get(name)
+            if removed is not None:
+                vm.registry.rename(removed, prefix + name)
+                removed.obsolete = True
+                removed.tib.invalidate_all()
+                old_cf = vm.classfiles.pop(name)
+                stub = ClassFile(
+                    prefix + name,
+                    self._stub_superclass(old_cf.superclass, spec, prefix),
+                    fields=list(old_cf.fields),
+                    source_version=old_cf.source_version,
+                )
+                removed.classfile = stub
+                vm.classfiles[prefix + name] = stub
+                active.renamed.append(removed)
+                for entry in vm.methods.all_entries():
+                    if entry.owner is removed:
+                        entry.obsolete = True
+                        entry.invalidate()
+        # Rekey the registry entries of renamed classes.
+        for entry in vm.methods.all_entries():
+            if entry.owner in active.renamed:
+                vm.methods.rekey(entry)
+
+        # 2. Publish the whole new program's class files.
+        for name, classfile in prepared.new_classfiles.items():
+            vm.classfiles[name] = classfile
+
+        # 3. Install fresh RVMClass metadata for updated + added classes,
+        #    adopting persistent method entries where signatures survive.
+        install_names = sorted(spec.class_updates | spec.added_classes)
+        new_clinits: List[MethodEntry] = []
+        for name in self._superclass_first(install_names, prepared.new_classfiles):
+            classfile = prepared.new_classfiles[name]
+            new_class = self._install_one(classfile, carryover, active)
+            active.result.classes_installed += 1
+            clinit = vm.methods.lookup(new_class.name, CLINIT_NAME, "()V")
+            if clinit is not None:
+                new_clinits.append(clinit)
+        # Entries of replaced classes that no update-side method adopted are
+        # gone from the program: mark them unusable.
+        for key, entry in carryover.items():
+            if entry.owner.obsolete:
+                entry.obsolete = True
+                entry.invalidate()
+        if spec.class_updates:
+            active.update_map = {
+                old_classes[name].id: vm.registry.get(name)
+                for name in spec.class_updates
+            }
+
+        # 4. Method-body updates in classes whose signature did not change.
+        for class_name, method_name, descriptor in spec.method_body_updates:
+            entry = vm.methods.lookup(class_name, method_name, descriptor)
+            new_info = prepared.new_classfiles[class_name].get_method(
+                method_name, descriptor
+            )
+            if entry is not None and new_info is not None:
+                entry.replace_bytecode(new_info)
+
+        # 5. Category-(2) invalidation: unchanged bytecode, stale offsets.
+        for key in active.sets.recompile_keys:
+            entry = vm.methods.lookup(*key)
+            if entry is not None:
+                entry.invalidate()
+
+        # 6. Methods whose opt code inlined a restricted method lose their
+        #    machine code too (the inlined body is stale).
+        restricted_keys = active.sets.hard_keys | active.sets.recompile_keys
+        for entry in vm.methods.all_entries():
+            opt = entry.opt_code
+            if opt is not None and opt.inlined & restricted_keys:
+                entry.invalidate()
+
+        # 7. Load the transformer class (access override allowed only here).
+        vm.loader.load(
+            dict(prepared.transformer_classfiles),
+            run_clinit=False,
+            allow_access_override=True,
+        )
+
+        # 8. Static initializers of freshly installed classes.
+        for clinit in new_clinits:
+            vm.run_static_method_synchronously(clinit)
+
+    def _retire_transformers(self, active: _ActiveUpdate) -> None:
+        """Rename the transformer class out of the live namespace so the
+        next update can load a fresh one."""
+        vm = self.vm
+        retired_tag = f"retired{len(self.history)}_{active.prepared.new_version}"
+        retired_tag = retired_tag.replace(".", "")
+        for name in active.prepared.transformer_classfiles:
+            rvmclass = vm.registry.maybe_get(name)
+            if rvmclass is None:
+                continue
+            new_name = f"{name}_{retired_tag}"
+            vm.registry.rename(rvmclass, new_name)
+            rvmclass.obsolete = True
+            classfile = vm.classfiles.pop(name, None)
+            if classfile is not None:
+                classfile.name = new_name
+                vm.classfiles[new_name] = classfile
+            for entry in vm.methods.all_entries():
+                if entry.owner is rvmclass:
+                    entry.obsolete = True
+                    entry.invalidate()
+                    vm.methods.rekey(entry)
+
+    def _stub_superclass(self, superclass: Optional[str], spec, prefix: str) -> str:
+        if superclass is None:
+            return "Object"
+        if superclass in spec.class_updates or superclass in spec.deleted_classes:
+            return prefix + superclass
+        return superclass
+
+    def _superclass_first(self, names: List[str], classfiles: Dict[str, ClassFile]):
+        ordered: List[str] = []
+        pending = set(names)
+
+        def visit(name: str) -> None:
+            if name not in pending:
+                return
+            pending.discard(name)
+            superclass = classfiles[name].superclass
+            if superclass in classfiles:
+                visit(superclass)
+            ordered.append(name)
+
+        for name in list(names):
+            visit(name)
+        return ordered
+
+    def _install_one(
+        self,
+        classfile: ClassFile,
+        carryover: Dict[Tuple[str, str, str], MethodEntry],
+        active: _ActiveUpdate,
+    ) -> RVMClass:
+        from ..bytecode.classfile import CTOR_NAME
+        from ..lang.types import parse_descriptor
+
+        vm = self.vm
+        superclass = (
+            vm.registry.get(classfile.superclass) if classfile.superclass else None
+        )
+        new_class = vm.registry.create(
+            classfile.name, classfile=classfile, superclass=superclass
+        )
+        new_class.build_instance_layout()
+        for field_info in classfile.static_fields():
+            is_ref = parse_descriptor(field_info.descriptor).is_reference()
+            slot = vm.jtoc.allocate(is_ref, f"{classfile.name}.{field_info.name}")
+            new_class.static_slots[field_info.name] = slot
+            new_class.static_is_ref[field_info.name] = is_ref
+        own_virtuals = {}
+        for key, info in classfile.methods.items():
+            carry_key = (classfile.name, info.name, info.descriptor)
+            entry = carryover.get(carry_key)
+            if entry is not None:
+                # Persistent identity: baked INVOKESTATIC/SPECIAL ids in
+                # unrelated compiled code stay valid (paper §3.3: "modifies
+                # the existing class metadata to refer to the replacement
+                # methods' bytecode").
+                entry.owner = new_class
+                if entry.info.bytecode_hash() != info.bytecode_hash():
+                    entry.replace_bytecode(info)
+                else:
+                    entry.info = info
+                    entry.invalidate()  # offsets of this class changed
+                vm.methods.rekey(entry)
+            else:
+                entry = vm.methods.register(new_class, info)
+            vm.clock.tick(vm.clock.costs.classload_per_method)
+            if not info.is_static and info.name not in (CTOR_NAME, CLINIT_NAME):
+                own_virtuals[key] = entry
+        new_class.tib.build(own_virtuals)
+        vm.clock.tick(vm.clock.costs.classload_per_class)
+        return new_class
+
+    # ------------------------------------------------------------------
+    # transformers (paper §3.4)
+
+    def _run_class_transformers(self, active: _ActiveUpdate) -> None:
+        vm = self.vm
+        for name in sorted(active.prepared.spec.class_updates):
+            descriptor = f"(L{name};)V"
+            entry = vm.methods.lookup(TRANSFORMERS_CLASS, "jvolveClass", descriptor)
+            if entry is not None:
+                vm.run_static_method_synchronously(entry, [0])
+
+    def _run_object_transformers(self, active: _ActiveUpdate, update_log) -> None:
+        vm = self.vm
+        self._transform_in_progress.clear()
+        self._old_copy_of = {new: old for old, new in update_log}
+        for old_address, new_address in update_log:
+            self._transform_object(active, old_address, new_address)
+
+    def _transform_object(self, active: _ActiveUpdate, old_address: int,
+                          new_address: int) -> None:
+        vm = self.vm
+        if vm.objects.status(new_address) == 0:
+            return  # already transformed
+        if new_address in self._transform_in_progress:
+            raise TransformerCycleError(
+                "recursive object transformation cycle detected "
+                "(ill-defined transformer functions, paper §3.4)"
+            )
+        self._transform_in_progress.add(new_address)
+        new_class = vm.objects.class_of(new_address)
+        descriptor = (
+            f"(L{new_class.name};,L{active.prepared.prefix}{new_class.name};)V"
+        )
+        entry = vm.methods.lookup(TRANSFORMERS_CLASS, "jvolveObject", descriptor)
+        # Reflective dispatch + field-by-field copy cost model (§4.1: "our
+        # transformer functions use reflection to look up jvolveObject, and
+        # this function copies one field at a time").
+        vm.clock.tick(
+            vm.clock.costs.transform_dispatch
+            + vm.clock.costs.transform_field * len(new_class.field_layout)
+        )
+        if entry is not None:
+            vm.run_static_method_synchronously(entry, [new_address, old_address])
+        # Mark transformed *before* releasing in-progress status.
+        vm.objects.set_status(new_address, 0)
+        self._transform_in_progress.discard(new_address)
+
+    def _force_transform(self, address: int) -> None:
+        """``Sys.forceTransform(o)``: ensure ``o`` (a new-version object) is
+        transformed before the caller dereferences its fields (§3.4)."""
+        active = self.active
+        if active is None or address == 0:
+            return
+        old_address = self._old_copy_of.get(address)
+        if old_address is None:
+            return  # not an updated object
+        self._transform_object(active, old_address, address)
+
+    def _barrier_force(self, address: int) -> None:
+        """Automatic read-barrier variant of :meth:`_force_transform`: a
+        transformer reading fields of its *own* in-progress object must not
+        trip cycle detection — the barrier simply lets the read through
+        (lazy semantics: the reader observes the current state)."""
+        if address in self._transform_in_progress:
+            return
+        self._force_transform(address)

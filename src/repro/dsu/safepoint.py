@@ -1,0 +1,140 @@
+"""DSU safe-point analysis.
+
+"DSU safe points occur at VM safe points but further restrict the methods
+on the threads' stacks" (§3.2). Given an update specification, this module
+computes the restricted method-entry sets and scans every thread stack to
+decide whether the VM is at a DSU safe point — and if not, which frames
+block it and which can be rescued by OSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..vm.frames import Frame, VMThread
+from ..vm.machinecode import MethodEntry
+from ..vm.osr import can_osr
+from .specification import MethodKey, UpdateSpecification
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.vm import VM
+
+
+@dataclass
+class RestrictedSets:
+    """Restricted methods resolved to live method entries."""
+
+    #: category 1 (changed/deleted bytecode) + category 3 (blacklist)
+    hard: Set[int] = field(default_factory=set)
+    #: category 2 (unchanged bytecode, stale offsets) — OSR-able when base
+    recompile: Set[int] = field(default_factory=set)
+    #: keys (for matching against opt-code inline records)
+    hard_keys: Set[MethodKey] = field(default_factory=set)
+    recompile_keys: Set[MethodKey] = field(default_factory=set)
+
+    def describes(self, entry: MethodEntry) -> Optional[str]:
+        if entry.id in self.hard:
+            return "changed"
+        if entry.id in self.recompile:
+            return "indirect"
+        return None
+
+
+def resolve_restricted(vm: "VM", spec: UpdateSpecification) -> RestrictedSets:
+    """Map the spec's restricted method keys onto live method entries."""
+    sets = RestrictedSets()
+    for key in spec.category1() | spec.category3():
+        entry = vm.methods.lookup(*key)
+        if entry is not None:
+            sets.hard.add(entry.id)
+            sets.hard_keys.add(key)
+    for key in spec.category2():
+        entry = vm.methods.lookup(*key)
+        if entry is not None:
+            sets.recompile.add(entry.id)
+            sets.recompile_keys.add(key)
+    return sets
+
+
+@dataclass
+class StackScan:
+    """Result of scanning all thread stacks at a VM safe point."""
+
+    #: frames that block the update outright: category 1/3, opt-compiled
+    #: category 2, or frames whose opt code inlined a restricted method
+    blocking: List[Tuple[VMThread, Frame, str]] = field(default_factory=list)
+    #: base-compiled category-2 frames rescueable by OSR
+    osr_candidates: List[Frame] = field(default_factory=list)
+    #: changed-method frames with user-supplied state mappings (§3.5
+    #: extended OSR): (frame, method key)
+    extended_osr: List[Tuple[Frame, MethodKey]] = field(default_factory=list)
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.blocking
+
+    def blocking_method_names(self) -> List[str]:
+        return sorted({f.code.entry.qualified_name for _, f, _ in self.blocking})
+
+
+def scan_stacks(vm: "VM", sets: RestrictedSets, mappings=None) -> StackScan:
+    """Check every live thread's stack against the restricted sets.
+
+    Blocked threads count too: a thread parked inside ``accept`` is at a VM
+    safe point, but its ``run`` method is still on the stack.
+
+    ``mappings`` (optional) maps changed-method keys to
+    :class:`~repro.dsu.upt.ActiveMethodMapping`: a category-1 frame whose
+    method has a mapping, is base-compiled, and is parked at a mapped pc
+    does not block — it becomes an extended-OSR candidate.
+    """
+    mappings = mappings or {}
+    scan = StackScan()
+    for thread in vm.threads:
+        if not thread.is_alive():
+            continue
+        for frame in thread.frames:
+            entry = frame.code.entry
+            category = sets.describes(entry)
+            if category == "changed":
+                key = (entry.owner.name, entry.info.name, entry.info.descriptor)
+                mapping = mappings.get(key)
+                if (
+                    mapping is not None
+                    and frame.code.is_base
+                    and frame.pc in mapping.pc_map
+                ):
+                    scan.extended_osr.append((frame, key))
+                else:
+                    scan.blocking.append((thread, frame, "category-1/3"))
+                continue
+            # Inlined restricted methods restrict the host frame (§3.2).
+            if frame.code.inlined and (
+                frame.code.inlined & (sets.hard_keys | sets.recompile_keys)
+            ):
+                scan.blocking.append((thread, frame, "inlined-restricted"))
+                continue
+            if category == "indirect":
+                if can_osr(frame):
+                    scan.osr_candidates.append(frame)
+                else:
+                    scan.blocking.append((thread, frame, "opt-category-2"))
+    return scan
+
+
+def install_return_barriers(scan: StackScan) -> int:
+    """Install a return barrier on the *topmost* restricted frame of each
+    blocked thread (§3.2). Returns the number of barriers installed."""
+    topmost: Dict[int, Tuple[VMThread, Frame]] = {}
+    for thread, frame, _ in scan.blocking:
+        index = thread.frames.index(frame)
+        current = topmost.get(thread.id)
+        if current is None or thread.frames.index(current[1]) < index:
+            topmost[thread.id] = (thread, frame)
+    installed = 0
+    for thread, frame in topmost.values():
+        if not frame.return_barrier:
+            frame.return_barrier = True
+            installed += 1
+    return installed

@@ -1,0 +1,183 @@
+"""Update specifications.
+
+The UPT (:mod:`repro.dsu.upt`) diffs two program versions and produces an
+:class:`UpdateSpecification`, which drives everything downstream: the
+restricted-method computation at DSU safe points, class installation, and
+the GC update map. It also carries the per-release change summary that
+regenerates the paper's Tables 2–4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+MethodKey = Tuple[str, str, str]  # (class, name, descriptor)
+
+
+@dataclass
+class ClassChangeSummary:
+    """Per-class change counts (one row contribution in Tables 2–4)."""
+
+    name: str
+    fields_added: int = 0
+    fields_deleted: int = 0
+    fields_type_changed: int = 0
+    methods_added: int = 0
+    methods_deleted: int = 0
+    methods_body_changed: int = 0
+    methods_signature_changed: int = 0
+
+    @property
+    def is_signature_change(self) -> bool:
+        """True when the class *signature* changed (not just method bodies)."""
+        return bool(
+            self.fields_added
+            or self.fields_deleted
+            or self.fields_type_changed
+            or self.methods_added
+            or self.methods_deleted
+            or self.methods_signature_changed
+        )
+
+
+@dataclass
+class UpdateSpecification:
+    """Everything the DSU engine needs to know about one update."""
+
+    old_version: str
+    new_version: str
+    #: classes whose signature/layout changed (transitively: a subclass of a
+    #: layout-changed class is itself layout-changed)
+    class_updates: Set[str] = field(default_factory=set)
+    #: classes present only in the new version
+    added_classes: Set[str] = field(default_factory=set)
+    #: classes present only in the old version
+    deleted_classes: Set[str] = field(default_factory=set)
+    #: methods whose bytecode changed but whose class signature did not
+    method_body_updates: Set[MethodKey] = field(default_factory=set)
+    #: methods (old program) whose bytecode is unchanged but whose compiled
+    #: code bakes offsets of updated classes — the paper's category (2)
+    indirect_methods: Set[MethodKey] = field(default_factory=set)
+    #: methods deleted by the update (old program keys) — restricted like
+    #: changed methods: they must not be running
+    deleted_methods: Set[MethodKey] = field(default_factory=set)
+    #: methods whose bytecode changed inside signature-updated classes
+    changed_methods_in_updated_classes: Set[MethodKey] = field(default_factory=set)
+    #: user-specified restricted methods — the paper's category (3)
+    blacklist: Set[MethodKey] = field(default_factory=set)
+    #: per-class change summaries for reporting
+    summaries: Dict[str, ClassChangeSummary] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # restricted-method categories (paper §3.2)
+
+    def category1(self) -> FrozenSet[MethodKey]:
+        """Methods whose bytecode changed or that were deleted."""
+        return frozenset(
+            self.method_body_updates
+            | self.changed_methods_in_updated_classes
+            | self.deleted_methods
+        )
+
+    def category2(self) -> FrozenSet[MethodKey]:
+        """Unchanged-bytecode methods needing recompilation (baked offsets)."""
+        return frozenset(self.indirect_methods)
+
+    def category3(self) -> FrozenSet[MethodKey]:
+        return frozenset(self.blacklist)
+
+    # ------------------------------------------------------------------
+    # summary rows (Tables 2-4)
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate counts in the shape of the paper's update tables."""
+        changed_classes = [s for s in self.summaries.values() if self._class_changed(s)]
+        return {
+            "classes_added": len(self.added_classes),
+            "classes_deleted": len(self.deleted_classes),
+            "classes_changed": len(changed_classes),
+            "methods_added": sum(s.methods_added for s in self.summaries.values()),
+            "methods_deleted": sum(s.methods_deleted for s in self.summaries.values()),
+            "methods_body_changed": sum(
+                s.methods_body_changed for s in self.summaries.values()
+            ),
+            "methods_signature_changed": sum(
+                s.methods_signature_changed for s in self.summaries.values()
+            ),
+            "fields_added": sum(s.fields_added for s in self.summaries.values()),
+            "fields_deleted": sum(s.fields_deleted for s in self.summaries.values()),
+            "fields_type_changed": sum(
+                s.fields_type_changed for s in self.summaries.values()
+            ),
+        }
+
+    @staticmethod
+    def _class_changed(summary: ClassChangeSummary) -> bool:
+        return bool(
+            summary.is_signature_change
+            or summary.methods_body_changed
+        )
+
+    # ------------------------------------------------------------------
+    # the update-specification file (paper §2.1: "The UPT generates an
+    # update specification, which identifies new and updated classes")
+
+    def to_dict(self) -> dict:
+        return {
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "class_updates": sorted(self.class_updates),
+            "added_classes": sorted(self.added_classes),
+            "deleted_classes": sorted(self.deleted_classes),
+            "method_body_updates": sorted(self.method_body_updates),
+            "indirect_methods": sorted(self.indirect_methods),
+            "deleted_methods": sorted(self.deleted_methods),
+            "changed_methods_in_updated_classes": sorted(
+                self.changed_methods_in_updated_classes
+            ),
+            "blacklist": sorted(self.blacklist),
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UpdateSpecification":
+        spec = cls(data["old_version"], data["new_version"])
+        spec.class_updates = set(data["class_updates"])
+        spec.added_classes = set(data["added_classes"])
+        spec.deleted_classes = set(data["deleted_classes"])
+        spec.method_body_updates = {tuple(k) for k in data["method_body_updates"]}
+        spec.indirect_methods = {tuple(k) for k in data["indirect_methods"]}
+        spec.deleted_methods = {tuple(k) for k in data["deleted_methods"]}
+        spec.changed_methods_in_updated_classes = {
+            tuple(k) for k in data["changed_methods_in_updated_classes"]
+        }
+        spec.blacklist = {tuple(k) for k in data["blacklist"]}
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "UpdateSpecification":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def method_body_only(self) -> bool:
+        """True if a method-body-only DSU system (HotSwap/E&C-style) could
+        apply this update — the paper's 9-of-22 comparison."""
+        totals = self.totals()
+        # Added classes are allowed: E&C systems sit on a dynamic
+        # classloader, so loading brand-new classes is not the hard part —
+        # changing existing signatures and layouts is.
+        return (
+            totals["classes_deleted"] == 0
+            and totals["methods_added"] == 0
+            and totals["methods_deleted"] == 0
+            and totals["methods_signature_changed"] == 0
+            and totals["fields_added"] == 0
+            and totals["fields_deleted"] == 0
+            and totals["fields_type_changed"] == 0
+        )

@@ -1,0 +1,177 @@
+"""The update-pause microbenchmark (paper §4.1, Table 1 and Figure 6).
+
+"The microbenchmark has two simple classes, Change and NoChange. Both
+contain three integer fields, and three reference fields that are always
+null. The update adds an integer field to Change. The user-provided object
+transformation function copies the existing fields and initializes the new
+field to zero. We measure the cost of performing an update while varying
+the total number of objects and the fraction of objects of each type."
+
+Scaling: the paper fills 160 MB–1280 MB heaps with 0.28M–3.67M objects; we
+scale object counts down (configurable) because the heap is a Python list.
+EXPERIMENTS.md records the mapping. The *shape* — GC time roughly doubling
+from 0% to 100% updated, transformer time linear and steeper, total pause
+~4x at 100% — comes from the simulated work counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..compiler.compile import compile_source
+from ..dsu.engine import UpdateEngine
+from ..dsu.upt import prepare_update
+from ..vm.vm import VM
+
+MICRO_V1 = """
+class Change {
+    int a;
+    int b;
+    int c;
+    Change x;
+    Change y;
+    Change z;
+}
+class NoChange {
+    int a;
+    int b;
+    int c;
+    NoChange x;
+    NoChange y;
+    NoChange z;
+}
+class Holder {
+    static Object[] items;
+}
+class Main {
+    static void main() { }
+}
+"""
+
+MICRO_V2 = MICRO_V1.replace(
+    """class Change {
+    int a;
+    int b;
+    int c;""",
+    """class Change {
+    int a;
+    int b;
+    int c;
+    int d;""",
+)
+
+#: cells per microbenchmark object (header 2 + 6 fields)
+OBJECT_CELLS = 8
+
+#: default scaled-down sweep (paper: 280k/770k/1.76M/3.67M objects in
+#: 160/320/640/1280 MB heaps; divide by ~70)
+DEFAULT_OBJECT_COUNTS = (4_000, 11_000, 25_000, 52_000)
+DEFAULT_FRACTIONS = tuple(i / 10 for i in range(11))
+
+#: the paper's heap-size label for each scaled object count
+PAPER_HEAP_LABELS = {
+    4_000: "160 MB",
+    11_000: "320 MB",
+    25_000: "640 MB",
+    52_000: "1280 MB",
+}
+
+
+@dataclass
+class MicrobenchResult:
+    """One cell of Table 1."""
+
+    num_objects: int
+    fraction: float
+    heap_cells: int
+    gc_ms: float
+    transform_ms: float
+    classload_ms: float
+    total_pause_ms: float
+    objects_transformed: int
+
+    @property
+    def paper_heap_label(self) -> str:
+        return PAPER_HEAP_LABELS.get(self.num_objects, f"{self.num_objects} objs")
+
+
+def heap_cells_for(num_objects: int) -> int:
+    """Size the heap so the update GC (which temporarily doubles every
+    updated object) always fits: per semispace we need the full population,
+    the holder array, and the worst-case duplicates."""
+    population = num_objects * OBJECT_CELLS
+    duplicates = num_objects * (2 * OBJECT_CELLS + 1)
+    array = num_objects + 8
+    semispace = population + duplicates + array + 4_096
+    return 2 * semispace + 64
+
+
+def populate(vm: VM, num_objects: int, fraction: float) -> int:
+    """Allocate the object population, anchored via Holder.items.
+
+    Returns the number of Change instances created.
+    """
+    change_class = vm.registry.get("Change")
+    nochange_class = vm.registry.get("NoChange")
+    holder = vm.registry.get("Holder")
+    array_class = vm.objects.array_class("LObject;")
+    items_slot = holder.static_slots["items"]
+
+    array = vm.allocate_array(array_class, num_objects)
+    vm.jtoc.write(items_slot, array)  # anchor before any further allocation
+
+    num_change = int(round(num_objects * fraction))
+    for index in range(num_objects):
+        rvmclass = change_class if index < num_change else nochange_class
+        address = vm.objects.alloc_object(rvmclass)  # pre-sized heap: no GC
+        vm.objects.array_set(vm.jtoc.read(items_slot), index, address)
+    return num_change
+
+
+def run_microbench(
+    num_objects: int,
+    fraction: float,
+    heap_cells: Optional[int] = None,
+    timeout_ms: float = 60_000.0,
+    costs=None,
+) -> MicrobenchResult:
+    """Populate a heap and measure one update's pause breakdown."""
+    heap_cells = heap_cells or heap_cells_for(num_objects)
+    vm = VM(heap_cells=heap_cells, costs=costs)
+    old_classfiles = compile_source(MICRO_V1, version="micro1")
+    vm.boot(old_classfiles)
+    vm.start_main("Main")
+    vm.run(max_instructions=10_000)  # main returns immediately
+
+    populate(vm, num_objects, fraction)
+
+    new_classfiles = compile_source(MICRO_V2, version="micro2")
+    prepared = prepare_update(old_classfiles, new_classfiles, "micro1", "micro2")
+    engine = UpdateEngine(vm)
+    result = engine.request_update(prepared, timeout_ms=timeout_ms)
+    vm.run(max_instructions=100_000_000)
+    if not result.succeeded:
+        raise RuntimeError(f"microbenchmark update failed: {result.reason}")
+    return MicrobenchResult(
+        num_objects=num_objects,
+        fraction=fraction,
+        heap_cells=heap_cells,
+        gc_ms=result.phase_ms.get("gc", 0.0),
+        transform_ms=result.phase_ms.get("transform", 0.0),
+        classload_ms=result.phase_ms.get("classload", 0.0),
+        total_pause_ms=result.total_pause_ms,
+        objects_transformed=result.objects_transformed,
+    )
+
+
+def sweep(
+    object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> List[MicrobenchResult]:
+    """The full Table-1 grid."""
+    results = []
+    for count in object_counts:
+        for fraction in fractions:
+            results.append(run_microbench(count, fraction))
+    return results

@@ -1,0 +1,247 @@
+"""Renders the paper's tables and figures from harness results, and drives
+the full experience sweep (every update of every application)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..apps.registry import APPS, EXPECTED_OUTCOMES, expected_outcome, update_pairs
+from ..dsu.upt import diff_programs
+from ..net.httpclient import HttpConnectionClient
+from ..net.ftpclient import browse_script
+from ..net.loadgen import ScriptedSession
+from ..net.popclient import stat_script
+from ..net.smtpclient import send_mail_script
+from .microbench import MicrobenchResult
+from .updates import AppDriver, AppUpdateOutcome
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Figure 6
+
+
+def render_table1(results: Sequence[MicrobenchResult]) -> str:
+    """The paper's Table 1 layout: three blocks (GC time, transformer time,
+    total pause) with one row per heap size and one column per fraction."""
+    by_count: Dict[int, Dict[float, MicrobenchResult]] = {}
+    fractions: List[float] = []
+    for result in results:
+        by_count.setdefault(result.num_objects, {})[result.fraction] = result
+        if result.fraction not in fractions:
+            fractions.append(result.fraction)
+    fractions.sort()
+    # Heap labels map by rank onto the paper's four heap sizes, whatever
+    # scaled object counts were swept.
+    paper_labels = ["160 MB", "320 MB", "640 MB", "1280 MB"]
+    counts = sorted(by_count)
+    labels = {
+        count: (paper_labels[i] if len(counts) <= len(paper_labels) else f"row {i}")
+        for i, count in enumerate(counts)
+    }
+    header = "# objects  heap(paper)  " + " ".join(f"{int(f*100):>6d}%" for f in fractions)
+
+    def block(title: str, metric) -> List[str]:
+        lines = [title, header]
+        for count in counts:
+            cells = by_count[count]
+            row = f"{count:>9d}  {labels[count]:>10s}   " + " ".join(
+                f"{metric(cells[f]):>7.1f}" for f in fractions
+            )
+            lines.append(row)
+        return lines
+
+    lines: List[str] = []
+    lines += block("Garbage collection time (ms, simulated)", lambda r: r.gc_ms)
+    lines.append("")
+    lines += block("Running transformation functions (ms, simulated)", lambda r: r.transform_ms)
+    lines.append("")
+    lines += block("Total DSU pause time (ms, simulated)", lambda r: r.total_pause_ms)
+    return "\n".join(lines)
+
+
+def render_figure6(results: Sequence[MicrobenchResult], num_objects: int) -> str:
+    """Figure 6: the three series for the largest heap, printable."""
+    rows = sorted(
+        (r for r in results if r.num_objects == num_objects),
+        key=lambda r: r.fraction,
+    )
+    lines = [
+        f"Figure 6 — pause times, {num_objects} objects "
+        f"({rows[0].paper_heap_label} in the paper)",
+        f"{'fraction':>8s} {'gc_ms':>9s} {'transform_ms':>13s} {'total_ms':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.fraction:>8.0%} {row.gc_ms:>9.1f} {row.transform_ms:>13.1f} "
+            f"{row.total_pause_ms:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Tables 2-4: per-release change summaries from the UPT
+
+
+def update_summary_rows(app: str) -> List[dict]:
+    info = APPS[app]
+    driver = AppDriver(app, info.versions, info.main_class)
+    rows = []
+    for from_version, to_version in update_pairs(app):
+        spec = diff_programs(
+            driver.classfiles(from_version),
+            driver.classfiles(to_version),
+            from_version,
+            to_version,
+        )
+        totals = spec.totals()
+        totals["version"] = to_version
+        totals["body_only"] = spec.method_body_only()
+        rows.append(totals)
+    return rows
+
+
+def render_update_table(app: str) -> str:
+    """One of Tables 2-4: change counts per release."""
+    rows = update_summary_rows(app)
+    lines = [
+        f"Summary of updates to {app}",
+        f"{'Ver.':>8s} {'+cls':>5s} {'-cls':>5s} {'~cls':>5s} "
+        f"{'+mth':>5s} {'-mth':>5s} {'chg x/y':>8s} "
+        f"{'+fld':>5s} {'-fld':>5s} {'~fld':>5s} {'body-only':>10s}",
+    ]
+    for row in rows:
+        chg = f"{row['methods_body_changed']}/{row['methods_signature_changed']}"
+        lines.append(
+            f"{row['version']:>8s} {row['classes_added']:>5d} "
+            f"{row['classes_deleted']:>5d} {row['classes_changed']:>5d} "
+            f"{row['methods_added']:>5d} {row['methods_deleted']:>5d} "
+            f"{chg:>8s} {row['fields_added']:>5d} {row['fields_deleted']:>5d} "
+            f"{row['fields_type_changed']:>5d} "
+            f"{'yes' if row['body_only'] else 'no':>10s}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The experience sweep (the 20-of-22 headline)
+
+
+def _schedule_light_load(driver: AppDriver, app: str, port: int):
+    """Periodic light traffic with gaps, so DSU safe points are reachable
+    (the paper applied updates under comparable conditions)."""
+    sessions = []
+    if app == "jetty":
+        for i in range(5):
+            sessions.append(
+                HttpConnectionClient(driver.vm, port, "/file.bin", 3).start(40 + 150 * i)
+            )
+    elif app == "javaemail":
+        from ..apps.javaemail.versions import POP3_PORT, SMTP_PORT
+
+        sessions.append(
+            ScriptedSession(
+                driver.vm, SMTP_PORT,
+                send_mail_script("bob@example.org", "alice@example.org", ["ping"]),
+            ).start(40)
+        )
+        sessions.append(
+            ScriptedSession(driver.vm, POP3_PORT, stat_script("alice", "apass")).start(500)
+        )
+    elif app == "crossftp":
+        sessions.append(ScriptedSession(driver.vm, port, browse_script()).start(40))
+        sessions.append(ScriptedSession(driver.vm, port, browse_script()).start(700))
+    return sessions
+
+
+def run_single_update(
+    app: str,
+    from_version: str,
+    to_version: str,
+    request_at_ms: float = 300.0,
+    timeout_ms: float = 1_000.0,
+    until_ms: float = 4_500.0,
+) -> AppUpdateOutcome:
+    """Boot ``from_version`` under light load, apply one update, report."""
+    info = APPS[app]
+    driver = AppDriver(
+        app, info.versions, info.main_class,
+        transformer_overrides=info.transformer_overrides,
+    )
+    driver.boot(from_version)
+    sessions = _schedule_light_load(driver, app, info.port)
+    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms)
+    driver.run(until_ms=until_ms)
+    result = holder["result"]
+    prepared_spec = driver.prepare_pair(from_version, to_version).spec
+    outcome = AppUpdateOutcome(
+        app=app,
+        from_version=from_version,
+        to_version=to_version,
+        result=result,
+        sessions_completed=sum(
+            1 for s in sessions if getattr(s, "succeeded", False)
+        ),
+        sessions_failed=sum(
+            1
+            for s in sessions
+            if getattr(s, "done", False) and getattr(s, "failed", None)
+        ),
+        body_only_supported=prepared_spec.method_body_only(),
+    )
+    expected = expected_outcome(app, from_version, to_version)
+    if expected is not None:
+        matches = (result.status == expected.paper_outcome)
+        outcome.notes = (
+            f"paper: {expected.paper_outcome}"
+            + (" +osr" if expected.paper_osr else "")
+            + (" (idle-only)" if expected.idle_only else "")
+            + ("" if matches else "  ** MISMATCH **")
+        )
+    return outcome
+
+
+def run_experience_sweep(**kwargs) -> List[AppUpdateOutcome]:
+    """Every update of every application — the §4 headline numbers."""
+    outcomes = []
+    for app in APPS:
+        for from_version, to_version in update_pairs(app):
+            outcomes.append(run_single_update(app, from_version, to_version, **kwargs))
+    return outcomes
+
+
+def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
+    applied = sum(1 for o in outcomes if o.result.succeeded)
+    body_only = sum(1 for o in outcomes if o.body_only_supported and o.result.succeeded)
+    lines = [
+        f"Experience: {applied} of {len(outcomes)} updates applied "
+        f"(paper: 20 of 22); method-body-only systems could support "
+        f"{body_only} (paper: 9)",
+        f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
+        f"{'pause(ms)':>10s} {'objs':>6s}  notes",
+    ]
+    for o in outcomes:
+        update = f"{o.from_version}->{o.to_version}"
+        pause = f"{o.result.total_pause_ms:.1f}" if o.result.succeeded else "-"
+        lines.append(
+            f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
+            f"{o.mechanism:>16s} {pause:>10s} "
+            f"{o.result.objects_transformed:>6d}  {o.notes}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 rendering
+
+
+def render_figure5(summaries) -> str:
+    lines = [
+        "Figure 5 — Jetty 5.1.6 throughput and latency (simulated)",
+        f"{'configuration':>14s} {'tput MB/s (q1..q3)':>24s} {'latency ms (q1..q3)':>24s}",
+    ]
+    for name, s in summaries.items():
+        tput = f"{s.median_throughput:.3f} ({s.throughput_q1:.3f}..{s.throughput_q3:.3f})"
+        lat = f"{s.median_latency:.3f} ({s.latency_q1:.3f}..{s.latency_q3:.3f})"
+        lines.append(f"{name:>14s} {tput:>24s} {lat:>24s}")
+    return "\n".join(lines)

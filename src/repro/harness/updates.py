@@ -1,0 +1,121 @@
+"""Drives the experience experiments: boot an application version, put it
+under load, request a dynamic update, and record what happened.
+
+This is the harness behind the paper's §4 headline numbers (20 of 22
+updates applied; OSR needed for two JavaEmailServer updates; Jetty 5.1.3
+and JavaEmailServer 1.3 abort; CrossFTP 1.08 applies only when idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.compile import compile_source
+from ..dsu.engine import UpdateEngine, UpdateResult
+from ..dsu.upt import PreparedUpdate, prepare_update
+from ..vm.vm import VM
+
+
+@dataclass
+class AppUpdateOutcome:
+    """One row of the experience table."""
+
+    app: str
+    from_version: str
+    to_version: str
+    result: UpdateResult
+    #: sessions that completed successfully before/during/after the update
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    #: whether a method-body-only system could apply this update
+    body_only_supported: bool = False
+    notes: str = ""
+
+    @property
+    def mechanism(self) -> str:
+        """Human-readable summary of how the update went through."""
+        if not self.result.succeeded:
+            return "aborted"
+        parts = []
+        if self.result.used_return_barriers:
+            parts.append("return-barrier")
+        if self.result.used_osr:
+            parts.append(f"osr({self.result.osr_frames})")
+        return "+".join(parts) if parts else "immediate"
+
+
+class AppDriver:
+    """Boots one application version on a fresh VM and applies updates."""
+
+    def __init__(
+        self,
+        app_name: str,
+        versions: Dict[str, str],
+        main_class: str,
+        heap_cells: int = 1 << 17,
+        transformer_overrides: Optional[Dict[Tuple[str, str], Dict[str, str]]] = None,
+        quantum: int = 400,
+        costs=None,
+    ):
+        self.app_name = app_name
+        self.versions = versions
+        self.main_class = main_class
+        self.transformer_overrides = transformer_overrides or {}
+        self._classfile_cache: Dict[str, dict] = {}
+        self.vm = VM(heap_cells=heap_cells, quantum=quantum, costs=costs)
+        self.engine = UpdateEngine(self.vm)
+        self.current_version: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def classfiles(self, version: str):
+        cached = self._classfile_cache.get(version)
+        if cached is None:
+            cached = compile_source(
+                self.versions[version], f"<{self.app_name} {version}>", version=version
+            )
+            self._classfile_cache[version] = cached
+        return cached
+
+    def boot(self, version: str) -> "AppDriver":
+        self.vm.boot(self.classfiles(version))
+        self.vm.start_main(self.main_class)
+        self.current_version = version
+        return self
+
+    def prepare(self, to_version: str) -> PreparedUpdate:
+        assert self.current_version is not None
+        return self.prepare_pair(self.current_version, to_version)
+
+    def prepare_pair(self, from_version: str, to_version: str) -> PreparedUpdate:
+        overrides = self.transformer_overrides.get((from_version, to_version), {})
+        return prepare_update(
+            self.classfiles(from_version),
+            self.classfiles(to_version),
+            from_version,
+            to_version,
+            transformer_overrides=overrides or None,
+        )
+
+    def request_update_at(
+        self, time_ms: float, to_version: str, timeout_ms: float = 15_000.0
+    ) -> Dict[str, UpdateResult]:
+        prepared = self.prepare(to_version)
+        holder: Dict[str, UpdateResult] = {}
+
+        def fire():
+            holder["result"] = self.engine.request_update(prepared, timeout_ms)
+
+        self.vm.events.schedule(time_ms, fire)
+        return holder
+
+    def run(self, until_ms: float, max_instructions: int = 50_000_000) -> "AppDriver":
+        self.vm.run(until_ms=until_ms, max_instructions=max_instructions)
+        return self
+
+    def note_version_if_applied(self, holder: Dict[str, UpdateResult], to_version: str):
+        result = holder.get("result")
+        if result is not None and result.succeeded:
+            self.current_version = to_version
+        return result

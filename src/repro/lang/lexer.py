@@ -1,0 +1,149 @@
+"""Hand-written lexer for the jmini language.
+
+jmini is the small Java-like language used by this reproduction: the
+benchmark applications (our stand-ins for Jetty, JavaEmailServer and
+CrossFTP) and the Jvolve transformer classes are all written in it.
+
+The lexer supports ``//`` line comments, ``/* ... */`` block comments,
+decimal integer literals, double-quoted string literals with the escape
+sequences ``\\n \\t \\r \\\\ \\"``, identifiers, keywords and punctuation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, PUNCTUATION, Token, TokenKind
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "0": "\0"}
+
+
+class Lexer:
+    """Converts jmini source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<source>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Lex the entire input, returning tokens terminated by one EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._at_end():
+                tokens.append(Token(TokenKind.EOF, "", self._location()))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._column)
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        char = self._source[self._pos]
+        self._pos += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self._at_end():
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._location()
+        self._advance()  # '/'
+        self._advance()  # '*'
+        while True:
+            if self._at_end():
+                raise LexError("unterminated block comment", start)
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance()
+                self._advance()
+                return
+            self._advance()
+
+    def _next_token(self) -> Token:
+        location = self._location()
+        char = self._peek()
+        if char.isdigit():
+            return self._lex_number(location)
+        if char.isalpha() or char == "_":
+            return self._lex_word(location)
+        if char == '"':
+            return self._lex_string(location)
+        for punct in PUNCTUATION:
+            if self._source.startswith(punct, self._pos):
+                for _ in punct:
+                    self._advance()
+                return Token(TokenKind.PUNCT, punct, location)
+        raise LexError(f"unexpected character {char!r}", location)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        digits = []
+        while not self._at_end() and self._peek().isdigit():
+            digits.append(self._advance())
+        if not self._at_end() and (self._peek().isalpha() or self._peek() == "_"):
+            raise LexError("identifier may not start with a digit", location)
+        return Token(TokenKind.INT_LITERAL, "".join(digits), location)
+
+    def _lex_word(self, location: SourceLocation) -> Token:
+        chars = []
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            chars.append(self._advance())
+        word = "".join(chars)
+        kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+        return Token(kind, word, location)
+
+    def _lex_string(self, location: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self._at_end():
+                raise LexError("unterminated string literal", location)
+            char = self._advance()
+            if char == '"':
+                return Token(TokenKind.STRING_LITERAL, "".join(chars), location)
+            if char == "\n":
+                raise LexError("newline in string literal", location)
+            if char == "\\":
+                if self._at_end():
+                    raise LexError("unterminated escape sequence", location)
+                escape = self._advance()
+                if escape not in _ESCAPES:
+                    raise LexError(f"unknown escape sequence \\{escape}", location)
+                chars.append(_ESCAPES[escape])
+            else:
+                chars.append(char)
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,52 @@
+"""Builtin instance methods on the jmini ``string`` type.
+
+Strings are immutable heap objects; their methods are implemented as VM
+natives. This table is shared by the type checker (signature lookup), the
+code generator (native names) and the VM (dispatch).
+
+Key: ``(method_name, param_type_descriptors)``.
+Value: ``(native_name, return_type)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .types import BOOL, INT, STRING, Type, array_type
+
+STRING_ARRAY = array_type(STRING)
+
+STRING_METHODS: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, Type]] = {
+    ("length", ()): ("str_length", INT),
+    ("substring", ("I", "I")): ("str_substring", STRING),
+    ("substring", ("I",)): ("str_substring_from", STRING),
+    ("indexOf", ("S",)): ("str_index_of", INT),
+    ("lastIndexOf", ("S",)): ("str_last_index_of", INT),
+    ("split", ("S",)): ("str_split", STRING_ARRAY),
+    ("split", ("S", "I")): ("str_split_limit", STRING_ARRAY),
+    ("startsWith", ("S",)): ("str_starts_with", BOOL),
+    ("endsWith", ("S",)): ("str_ends_with", BOOL),
+    ("contains", ("S",)): ("str_contains", BOOL),
+    ("trim", ()): ("str_trim", STRING),
+    ("toLowerCase", ()): ("str_to_lower", STRING),
+    ("toUpperCase", ()): ("str_to_upper", STRING),
+    ("charAt", ("I",)): ("str_char_at", STRING),
+    ("equals", ("S",)): ("str_equals", BOOL),
+    ("equalsIgnoreCase", ("S",)): ("str_equals_ignore_case", BOOL),
+    ("replace", ("S", "S")): ("str_replace", STRING),
+    ("compareTo", ("S",)): ("str_compare_to", INT),
+    ("hashCode", ()): ("str_hash_code", INT),
+}
+
+
+def lookup_string_method(name: str, arg_types) -> Optional[Tuple[str, Type, Tuple[str, ...]]]:
+    """Resolve a call to ``<string>.name(args)``.
+
+    Returns ``(native_name, return_type, param_descriptors)`` or ``None``.
+    """
+    key = (name, tuple(t.descriptor for t in arg_types))
+    entry = STRING_METHODS.get(key)
+    if entry is None:
+        return None
+    native_name, return_type = entry
+    return native_name, return_type, key[1]

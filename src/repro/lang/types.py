@@ -1,0 +1,247 @@
+"""The jmini static type universe.
+
+Types are interned, immutable values shared by the type checker, the
+bytecode layer (descriptors) and the VM (stack maps, field reference maps).
+
+The universe:
+
+* primitives: ``int``, ``bool``, ``void``
+* ``string`` — a reference type with value semantics for ``==`` and ``+``
+* class types — named, single-inheritance (subtyping is resolved against a
+  :class:`~repro.lang.symbols.ProgramSymbols` table, not stored in the type)
+* array types — ``T[]`` with covariant element reads only (no store checks
+  are needed because jmini arrays are not covariant for assignment)
+* ``null`` — the bottom of the reference lattice
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Type:
+    """Base class for all jmini types."""
+
+    #: descriptor string, filled in by subclasses (JVM-flavoured syntax)
+    descriptor: str = "?"
+
+    def is_reference(self) -> bool:
+        """True if values of this type are heap references (GC roots)."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Type {self}>"
+
+
+class PrimitiveType(Type):
+    """``int``, ``bool`` or ``void``."""
+
+    def __init__(self, name: str, descriptor: str):
+        self.name = name
+        self.descriptor = descriptor
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class StringType(Type):
+    """The builtin ``string`` type (a heap-allocated, immutable reference)."""
+
+    descriptor = "S"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "string"
+
+
+class NullType(Type):
+    """The type of the ``null`` literal: subtype of every reference type."""
+
+    descriptor = "N"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "null"
+
+
+class ClassType(Type):
+    """A named class type. Identity is by name; interned via :func:`class_type`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.descriptor = f"L{name};"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ArrayType(Type):
+    """An array type ``element[]``. Interned via :func:`array_type`."""
+
+    def __init__(self, element: Type):
+        self.element = element
+        self.descriptor = f"[{element.descriptor}"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+INT = PrimitiveType("int", "I")
+BOOL = PrimitiveType("bool", "Z")
+VOID = PrimitiveType("void", "V")
+STRING = StringType()
+NULL = NullType()
+
+_CLASS_CACHE: Dict[str, ClassType] = {}
+_ARRAY_CACHE: Dict[str, ArrayType] = {}
+
+OBJECT_CLASS_NAME = "Object"
+
+
+def class_type(name: str) -> ClassType:
+    """Return the interned :class:`ClassType` for ``name``."""
+    cached = _CLASS_CACHE.get(name)
+    if cached is None:
+        cached = ClassType(name)
+        _CLASS_CACHE[name] = cached
+    return cached
+
+
+OBJECT = class_type(OBJECT_CLASS_NAME)
+
+
+def array_type(element: Type) -> ArrayType:
+    """Return the interned :class:`ArrayType` with the given element type."""
+    cached = _ARRAY_CACHE.get(element.descriptor)
+    if cached is None:
+        cached = ArrayType(element)
+        _ARRAY_CACHE[element.descriptor] = cached
+    return cached
+
+
+def parse_descriptor(descriptor: str) -> Type:
+    """Parse a single type descriptor back into a :class:`Type`.
+
+    Inverse of ``Type.descriptor``. Raises :class:`ValueError` on malformed
+    input.
+    """
+    result, rest = _parse_descriptor_prefix(descriptor)
+    if rest:
+        raise ValueError(f"trailing characters in descriptor: {descriptor!r}")
+    return result
+
+
+def _parse_descriptor_prefix(descriptor: str):
+    if not descriptor:
+        raise ValueError("empty type descriptor")
+    head = descriptor[0]
+    if head == "I":
+        return INT, descriptor[1:]
+    if head == "Z":
+        return BOOL, descriptor[1:]
+    if head == "V":
+        return VOID, descriptor[1:]
+    if head == "S":
+        return STRING, descriptor[1:]
+    if head == "N":
+        return NULL, descriptor[1:]
+    if head == "[":
+        element, rest = _parse_descriptor_prefix(descriptor[1:])
+        return array_type(element), rest
+    if head == "L":
+        end = descriptor.index(";")
+        return class_type(descriptor[1:end]), descriptor[end + 1 :]
+    raise ValueError(f"malformed type descriptor: {descriptor!r}")
+
+
+def method_descriptor(param_types, return_type: Type) -> str:
+    """Build a method descriptor string, e.g. ``(I,LUser;)V``."""
+    params = ",".join(p.descriptor for p in param_types)
+    return f"({params}){return_type.descriptor}"
+
+
+def parse_method_descriptor(descriptor: str):
+    """Parse ``(I,LUser;)V`` into ``([INT, class_type('User')], VOID)``."""
+    if not descriptor.startswith("("):
+        raise ValueError(f"malformed method descriptor: {descriptor!r}")
+    close = descriptor.index(")")
+    params_text = descriptor[1:close]
+    params = []
+    if params_text:
+        for part in params_text.split(","):
+            params.append(parse_descriptor(part))
+    return params, parse_descriptor(descriptor[close + 1 :])
+
+
+class SubtypeOracle:
+    """Answers subtype questions given a class-hierarchy lookup function.
+
+    The front end and the verifier both need assignability checks but hold
+    different class tables; each supplies ``superclass_of``, a function from
+    class name to superclass name (``None`` for ``Object``).
+    """
+
+    def __init__(self, superclass_of):
+        self._superclass_of = superclass_of
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        current: Optional[str] = name
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._superclass_of(current)
+        return False
+
+    def is_assignable(self, source: Type, target: Type) -> bool:
+        """True if a value of ``source`` may be assigned to ``target``."""
+        if source is target:
+            return True
+        if isinstance(source, NullType):
+            return target.is_reference()
+        if isinstance(source, ClassType) and isinstance(target, ClassType):
+            return self.is_subclass(source.name, target.name)
+        if isinstance(source, ArrayType) and isinstance(target, ClassType):
+            return target.name == OBJECT_CLASS_NAME
+        if isinstance(source, StringType) and isinstance(target, ClassType):
+            return target.name == OBJECT_CLASS_NAME
+        if isinstance(source, ArrayType) and isinstance(target, ArrayType):
+            # jmini arrays are invariant: exact element match only.
+            return source.element is target.element
+        return False
+
+    def join(self, left: Type, right: Type) -> Type:
+        """Least common supertype, used by the verifier at merge points."""
+        if left is right:
+            return left
+        if isinstance(left, NullType) and right.is_reference():
+            return right
+        if isinstance(right, NullType) and left.is_reference():
+            return left
+        if self.is_assignable(left, right):
+            return right
+        if self.is_assignable(right, left):
+            return left
+        if isinstance(left, ClassType) and isinstance(right, ClassType):
+            ancestors = set()
+            current: Optional[str] = left.name
+            while current is not None:
+                ancestors.add(current)
+                current = self._superclass_of(current)
+            current = right.name
+            while current is not None:
+                if current in ancestors:
+                    return class_type(current)
+                current = self._superclass_of(current)
+        if left.is_reference() and right.is_reference():
+            return OBJECT
+        raise ValueError(f"cannot join types {left} and {right}")

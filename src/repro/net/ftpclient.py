@@ -1,0 +1,58 @@
+"""FTP client scripts for the CrossFTP stand-in."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Step = Tuple[str, ...]
+
+
+def login_steps(user: str = "alice", password: str = "xyzzy") -> List[Step]:
+    return [
+        ("expect", "220"),
+        ("send", f"USER {user}"),
+        ("expect", "331"),
+        ("send", f"PASS {password}"),
+        ("expect", "230"),
+    ]
+
+
+def browse_script(user: str = "alice", password: str = "xyzzy") -> List[Step]:
+    """Log in, look around, fetch the readme, quit."""
+    return login_steps(user, password) + [
+        ("send", "PWD"),
+        ("expect", "257"),
+        ("send", "LIST"),
+        ("expect", "226"),
+        ("send", "RETR readme.txt"),
+        ("expect", "226"),
+        ("send", "QUIT"),
+        ("expect", "221"),
+        ("close",),
+    ]
+
+
+def long_session_script(noops: int, user: str = "alice", password: str = "xyzzy") -> List[Step]:
+    """A session that stays connected, issuing NOOPs — used to hold
+    ``RequestHandler.run`` on the stack during an update attempt."""
+    steps = login_steps(user, password)
+    for _ in range(noops):
+        steps.append(("send", "NOOP"))
+        steps.append(("expect", "200"))
+    steps.append(("send", "QUIT"))
+    steps.append(("expect", "221"))
+    steps.append(("close",))
+    return steps
+
+
+def upload_script(name: str, data: str, user: str = "alice", password: str = "xyzzy") -> List[Step]:
+    return login_steps(user, password) + [
+        ("send", f"STOR {name}"),
+        ("send", data),
+        ("expect", "226"),
+        ("send", f"RETR {name}"),
+        ("expect", "226"),
+        ("send", "QUIT"),
+        ("expect", "221"),
+        ("close",),
+    ]

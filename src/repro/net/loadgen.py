@@ -1,0 +1,166 @@
+"""Load generation over the simulated network.
+
+Two building blocks:
+
+* :class:`ScriptedSession` — one client connection driven through a
+  send/expect script (used for SMTP, POP3 and FTP sessions);
+* :class:`SessionLoad` — spawns scripted sessions at a configurable rate,
+  the skeleton of the experience experiments (§4).
+
+The httperf-style HTTP load generator lives in
+:mod:`repro.net.httpclient`, as its measurement needs differ.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.vm import VM
+
+#: script steps: ("send", text) appends CRLF; ("expect", substring) waits
+#: for a line containing substring; ("close",) half-closes the client side.
+Step = Tuple[str, ...]
+
+
+class ScriptedSession:
+    """Drives one client connection through a protocol script."""
+
+    def __init__(
+        self,
+        vm: "VM",
+        port: int,
+        script: Sequence[Step],
+        poll_ms: float = 2.0,
+        timeout_ms: float = 5_000.0,
+        name: str = "",
+    ):
+        self.vm = vm
+        self.port = port
+        self.script = list(script)
+        self.poll_ms = poll_ms
+        self.timeout_ms = timeout_ms
+        self.name = name or f"session:{port}"
+        self.transcript: List[str] = []
+        self.step_index = 0
+        self.done = False
+        self.failed: Optional[str] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._endpoint = None
+
+    # ------------------------------------------------------------------
+
+    def start(self, at_ms: float) -> "ScriptedSession":
+        self.vm.events.schedule(at_ms, self._connect)
+        return self
+
+    def _connect(self) -> None:
+        try:
+            self._endpoint = self.vm.network.client_connect(self.port)
+        except ConnectionRefusedError as exc:
+            self._fail(str(exc))
+            return
+        self.started_at = self.vm.clock.now_ms
+        self._schedule_poll()
+
+    def _schedule_poll(self) -> None:
+        self.vm.events.schedule(self.vm.clock.now_ms + self.poll_ms, self._poll)
+
+    def _fail(self, reason: str) -> None:
+        self.failed = reason
+        self.done = True
+        self.finished_at = self.vm.clock.now_ms
+        if self._endpoint is not None:
+            self._endpoint.close()
+
+    def _finish(self) -> None:
+        self.done = True
+        self.finished_at = self.vm.clock.now_ms
+
+    def _poll(self) -> None:
+        if self.done:
+            return
+        assert self.started_at is not None
+        if self.vm.clock.now_ms - self.started_at > self.timeout_ms:
+            self._fail(f"timeout at step {self.step_index}: {self.script[self.step_index] if self.step_index < len(self.script) else '<end>'}")
+            return
+        while True:
+            line = self._endpoint.receive_line()
+            if line is None:
+                break
+            self.transcript.append(line)
+        progressed = True
+        while progressed and self.step_index < len(self.script):
+            progressed = self._try_step()
+        if self.step_index >= len(self.script):
+            self._finish()
+            return
+        self._schedule_poll()
+
+    def _try_step(self) -> bool:
+        step = self.script[self.step_index]
+        kind = step[0]
+        if kind == "send":
+            self._endpoint.send(step[1] + "\r\n")
+            self.step_index += 1
+            return True
+        if kind == "expect":
+            needle = step[1]
+            consumed = getattr(self, "_consumed", 0)
+            for index in range(consumed, len(self.transcript)):
+                if needle in self.transcript[index]:
+                    self._consumed = index + 1
+                    self.step_index += 1
+                    return True
+            return False
+        if kind == "close":
+            self._endpoint.close()
+            self.step_index += 1
+            return True
+        raise ValueError(f"unknown script step {step!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def succeeded(self) -> bool:
+        return self.done and self.failed is None
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class SessionLoad:
+    """Spawns scripted sessions on a schedule and aggregates outcomes."""
+
+    def __init__(
+        self,
+        vm: "VM",
+        port: int,
+        script_factory: Callable[[int], Sequence[Step]],
+        start_ms: float,
+        interval_ms: float,
+        count: int,
+        **session_kwargs,
+    ):
+        self.sessions: List[ScriptedSession] = []
+        for index in range(count):
+            session = ScriptedSession(
+                vm, port, script_factory(index), name=f"load-{index}", **session_kwargs
+            )
+            session.start(start_ms + index * interval_ms)
+            self.sessions.append(session)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.sessions if s.succeeded)
+
+    @property
+    def failed(self) -> List[ScriptedSession]:
+        return [s for s in self.sessions if s.done and s.failed]
+
+    def failure_reasons(self) -> List[str]:
+        return [f"{s.name}: {s.failed}" for s in self.failed]

@@ -1,0 +1,40 @@
+"""POP3 client scripts for the JavaEmailServer stand-in."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Step = Tuple[str, ...]
+
+
+def login_steps(user: str, password: str) -> List[Step]:
+    return [
+        ("expect", "+OK jes pop3"),
+        ("send", f"USER {user}"),
+        ("expect", "+OK"),
+        ("send", f"PASS {password}"),
+        ("expect", "+OK"),
+    ]
+
+
+def fetch_script(user: str, password: str, message_index: int = 1) -> List[Step]:
+    """Log in, check the mailbox, retrieve one message, quit."""
+    return login_steps(user, password) + [
+        ("send", "STAT"),
+        ("expect", "+OK"),
+        ("send", f"RETR {message_index}"),
+        ("expect", "+OK"),
+        ("send", "QUIT"),
+        ("expect", "+OK bye"),
+        ("close",),
+    ]
+
+
+def stat_script(user: str, password: str) -> List[Step]:
+    return login_steps(user, password) + [
+        ("send", "STAT"),
+        ("expect", "+OK"),
+        ("send", "QUIT"),
+        ("expect", "+OK bye"),
+        ("close",),
+    ]

@@ -1,0 +1,35 @@
+"""SMTP client scripts for the JavaEmailServer stand-in."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Step = Tuple[str, ...]
+
+
+def send_mail_script(
+    sender: str, recipient: str, body_lines: Sequence[str], hello: str = "client"
+) -> List[Step]:
+    steps: List[Step] = [
+        ("expect", "220"),
+        ("send", f"HELO {hello}"),
+        ("expect", "250"),
+        ("send", f"MAIL FROM:<{sender}>"),
+        ("expect", "250"),
+        ("send", f"RCPT TO:<{recipient}>"),
+        ("expect", "250"),
+        ("send", "DATA"),
+        ("expect", "354"),
+    ]
+    for line in body_lines:
+        steps.append(("send", line))
+    steps.extend(
+        [
+            ("send", "."),
+            ("expect", "250"),
+            ("send", "QUIT"),
+            ("expect", "221"),
+            ("close",),
+        ]
+    )
+    return steps

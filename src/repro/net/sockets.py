@@ -1,0 +1,193 @@
+"""The simulated socket layer.
+
+The server applications (jmini code) see Berkeley-style natives —
+``Net.listen`` / ``Net.accept`` / ``Net.readLine`` / ``Net.write`` /
+``Net.close`` — while Python-side load generators hold
+:class:`ClientEndpoint` handles on the other end of each connection.
+
+Blocking behaviour matters to the reproduction: a thread parked inside
+``accept`` or ``readLine`` is at a VM safe point but its ``run`` method is
+*on the stack*, which is exactly why the paper could not apply the Jetty
+5.1.3 and JavaEmailServer 1.3 updates and why CrossFTP 1.08 only applies
+when the server is idle (§4.2–4.4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+class Connection:
+    """One established connection: two unidirectional byte streams."""
+
+    def __init__(self, fd: int, port: int):
+        self.fd = fd
+        self.port = port
+        self.to_server = ""  # client -> server bytes
+        self.to_client = ""  # server -> client bytes
+        self.client_closed = False  # client will send no more data
+        self.server_closed = False  # server side closed
+        #: bytes the server has written over the lifetime of the connection
+        self.bytes_to_client = 0
+        self.bytes_to_server = 0
+
+
+class ClientEndpoint:
+    """Python-side handle used by load generators."""
+
+    def __init__(self, network: "Network", connection: Connection):
+        self._network = network
+        self._connection = connection
+
+    @property
+    def fd(self) -> int:
+        return self._connection.fd
+
+    @property
+    def server_closed(self) -> bool:
+        return self._connection.server_closed
+
+    def send(self, data: str) -> None:
+        if self._connection.client_closed:
+            raise ValueError("send on closed client endpoint")
+        self._connection.to_server += data
+        self._connection.bytes_to_server += len(data)
+
+    def receive(self) -> str:
+        """Drain everything the server has written so far."""
+        data = self._connection.to_client
+        self._connection.to_client = ""
+        return data
+
+    def receive_line(self) -> Optional[str]:
+        """Pop one complete line (without the newline), or ``None``."""
+        buffer = self._connection.to_client
+        index = buffer.find("\n")
+        if index < 0:
+            return None
+        self._connection.to_client = buffer[index + 1 :]
+        return buffer[:index].rstrip("\r")
+
+    def pending_bytes(self) -> int:
+        return len(self._connection.to_client)
+
+    def close(self) -> None:
+        self._connection.client_closed = True
+
+
+class Network:
+    """All listeners and connections of one simulated host."""
+
+    def __init__(self):
+        self._next_fd = 3  # 0/1/2 reserved, unix-style
+        self.listeners: Dict[int, int] = {}  # port -> listen fd
+        self.listen_ports: Dict[int, int] = {}  # listen fd -> port
+        self.accept_queues: Dict[int, Deque[Connection]] = {}
+        self.connections: Dict[int, Connection] = {}
+        #: statistics
+        self.total_accepted = 0
+        self.total_connections = 0
+
+    def _allocate_fd(self) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        return fd
+
+    # ------------------------------------------------------------------
+    # server-side operations (called by VM natives)
+
+    def listen(self, port: int) -> int:
+        if port in self.listeners:
+            raise ValueError(f"port {port} already has a listener")
+        fd = self._allocate_fd()
+        self.listeners[port] = fd
+        self.listen_ports[fd] = port
+        self.accept_queues[fd] = deque()
+        return fd
+
+    def has_pending(self, listen_fd: int) -> bool:
+        queue = self.accept_queues.get(listen_fd)
+        return bool(queue)
+
+    def accept(self, listen_fd: int) -> Optional[int]:
+        queue = self.accept_queues.get(listen_fd)
+        if not queue:
+            return None
+        connection = queue.popleft()
+        self.total_accepted += 1
+        return connection.fd
+
+    def connection(self, fd: int) -> Connection:
+        return self.connections[fd]
+
+    def has_line(self, fd: int) -> bool:
+        connection = self.connections.get(fd)
+        if connection is None:
+            return False
+        return "\n" in connection.to_server or connection.client_closed
+
+    def read_line(self, fd: int) -> Optional[str]:
+        """One line without the terminator; None means would-block; ""
+        after close means EOF is signalled by the caller via is_eof()."""
+        connection = self.connections[fd]
+        index = connection.to_server.find("\n")
+        if index >= 0:
+            line = connection.to_server[:index].rstrip("\r")
+            connection.to_server = connection.to_server[index + 1 :]
+            return line
+        if connection.client_closed:
+            # Flush any unterminated trailing data, then EOF.
+            if connection.to_server:
+                line = connection.to_server
+                connection.to_server = ""
+                return line
+            return None  # caller checks is_eof
+        return None
+
+    def is_eof(self, fd: int) -> bool:
+        connection = self.connections.get(fd)
+        if connection is None:
+            return True
+        return connection.client_closed and not connection.to_server
+
+    def has_data(self, fd: int, count: int) -> bool:
+        connection = self.connections.get(fd)
+        if connection is None:
+            return True
+        return len(connection.to_server) >= count or connection.client_closed
+
+    def read(self, fd: int, count: int) -> str:
+        connection = self.connections[fd]
+        data = connection.to_server[:count]
+        connection.to_server = connection.to_server[len(data):]
+        return data
+
+    def write(self, fd: int, data: str) -> None:
+        connection = self.connections.get(fd)
+        if connection is None or connection.server_closed:
+            return  # writes to closed sockets are dropped, unix-style
+        connection.to_client += data
+        connection.bytes_to_client += len(data)
+
+    def close(self, fd: int) -> None:
+        connection = self.connections.get(fd)
+        if connection is not None:
+            connection.server_closed = True
+
+    def is_open(self, fd: int) -> bool:
+        connection = self.connections.get(fd)
+        return connection is not None and not connection.server_closed
+
+    # ------------------------------------------------------------------
+    # client-side operations (called by load generators)
+
+    def client_connect(self, port: int) -> ClientEndpoint:
+        listen_fd = self.listeners.get(port)
+        if listen_fd is None:
+            raise ConnectionRefusedError(f"no listener on port {port}")
+        connection = Connection(self._allocate_fd(), port)
+        self.connections[connection.fd] = connection
+        self.accept_queues[listen_fd].append(connection)
+        self.total_connections += 1
+        return ClientEndpoint(self, connection)

@@ -1,0 +1,133 @@
+"""The semi-space heap.
+
+Memory is a flat array of cells addressed by integer index, split into two
+equal semispaces. Allocation bumps a pointer in the current space; when it
+overflows, the VM runs the semi-space copying collector (:mod:`repro.vm.gc`)
+and the spaces flip. Address ``0`` is the null reference; no object is ever
+allocated below :data:`HEAP_BASE`.
+
+Object layout (see :mod:`repro.vm.objectmodel`):
+
+* scalar object: ``[tib_id, status, field0, field1, ...]``
+* array:         ``[tib_id, status, length, elem0, elem1, ...]``
+* string:        ``[tib_id, status, payload_index]``
+
+``status`` is 0 in steady state; during a collection it holds the
+forwarding pointer (any value >= HEAP_BASE means "forwarded"), and during a
+dynamic update the collector uses it on *new* versions of updated objects to
+cache the address of the old copy (paper §3.4: "we instead cache a pointer
+to the old version in the new version during the collection").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+NULL = 0
+HEAP_BASE = 16
+
+#: header size in cells: [tib_id, status]
+HEADER_CELLS = 2
+HEADER_TIB = 0
+HEADER_STATUS = 1
+
+
+class OutOfMemoryError(Exception):
+    """The heap cannot satisfy an allocation even after collection."""
+
+
+class Heap:
+    """A two-semispace bump-allocated heap."""
+
+    def __init__(self, size_cells: int):
+        if size_cells < 4 * HEAP_BASE:
+            raise ValueError(f"heap of {size_cells} cells is too small")
+        self.size = size_cells
+        self.cells: List[int] = [0] * size_cells
+        half = size_cells // 2
+        # Both spaces reserve HEAP_BASE low cells so they have identical
+        # capacity — a full from-space must always fit into to-space.
+        self._space_bounds = ((HEAP_BASE, half), (half + HEAP_BASE, size_cells))
+        self.current_space = 0
+        self.bump = self._space_bounds[0][0]
+        #: allocation limit; normally the space end, but an update GC that
+        #: segregates old copies into a top-of-space region lowers it until
+        #: the DSU engine reclaims that region (paper §3.4: "If we put them
+        #: in a special space, we could reclaim them immediately")
+        self.ceiling = self._space_bounds[0][1]
+        #: statistics
+        self.allocations = 0
+        self.cells_allocated = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    @property
+    def space_start(self) -> int:
+        return self._space_bounds[self.current_space][0]
+
+    @property
+    def space_end(self) -> int:
+        return self._space_bounds[self.current_space][1]
+
+    @property
+    def free_cells(self) -> int:
+        return self.ceiling - self.bump
+
+    @property
+    def used_cells(self) -> int:
+        return self.bump - self.space_start
+
+    def can_allocate(self, cells: int) -> bool:
+        return self.bump + cells <= self.ceiling
+
+    def allocate_raw(self, cells: int) -> int:
+        """Bump-allocate ``cells`` zeroed cells; caller checks capacity."""
+        if not self.can_allocate(cells):
+            raise OutOfMemoryError(
+                f"allocation of {cells} cells failed ({self.free_cells} free)"
+            )
+        address = self.bump
+        self.bump += cells
+        for i in range(address, address + cells):
+            self.cells[i] = 0
+        self.allocations += 1
+        self.cells_allocated += cells
+        return address
+
+    # ------------------------------------------------------------------
+    # collection support
+
+    def other_space(self) -> int:
+        return 1 - self.current_space
+
+    def begin_flip(self) -> int:
+        """Start allocating in the other semispace; returns its base.
+
+        Used by the collector: copies go to the new space, then
+        :meth:`finish_flip` commits.
+        """
+        start, _ = self._space_bounds[self.other_space()]
+        return start
+
+    def finish_flip(self, new_bump: int, ceiling: Optional[int] = None) -> None:
+        self.current_space = self.other_space()
+        self.bump = new_bump
+        self.ceiling = ceiling if ceiling is not None else self.space_end
+
+    def reset_ceiling(self) -> None:
+        """Reclaim the segregated old-copy region in O(1)."""
+        self.ceiling = self.space_end
+
+    def in_space(self, address: int, space: int) -> bool:
+        start, end = self._space_bounds[space]
+        return start <= address < end
+
+    # ------------------------------------------------------------------
+    # cell access
+
+    def read(self, address: int) -> int:
+        return self.cells[address]
+
+    def write(self, address: int, value: int) -> None:
+        self.cells[address] = value

@@ -1,0 +1,154 @@
+"""Bytecode inlining for the optimizing tier.
+
+The opt compiler splices small callee bodies into the caller at
+``INVOKESTATIC``/``INVOKESPECIAL`` call sites (non-constructor), up to a
+bounded depth — a simplified version of Jikes RVM's cost-based inliner
+("It performs inlining of small, frequently used methods ... and may inline
+multiple levels down a hot call chain", paper §3.2).
+
+Inlining matters to DSU: if method *m* is inlined into *n*, then an update
+restricting *m* must also restrict *n* (paper §3.2). The inliner therefore
+reports exactly which method keys it spliced, and the DSU safe-point check
+consults that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bytecode.classfile import CTOR_NAME, ClassFile, MethodInfo
+from ..bytecode.instructions import BRANCH_OPS, Instr
+from ..lang.types import parse_method_descriptor
+
+#: maximum callee size (in instructions) eligible for inlining
+INLINE_MAX_INSTRUCTIONS = 16
+#: maximum nesting depth of inlined bodies
+INLINE_MAX_DEPTH = 2
+
+
+@dataclass
+class InlineResult:
+    instructions: List[Instr]
+    max_locals: int
+    inlined: Set[Tuple[str, str, str]]
+
+
+def _lookup_static_target(
+    classfiles: Dict[str, ClassFile], owner: str, name: str, descriptor: str
+) -> Optional[Tuple[str, MethodInfo]]:
+    current: Optional[str] = owner
+    while current is not None:
+        classfile = classfiles.get(current)
+        if classfile is None:
+            return None
+        method = classfile.get_method(name, descriptor)
+        if method is not None:
+            return current, method
+        current = classfile.superclass
+    return None
+
+
+def _eligible(callee: MethodInfo, name: str) -> bool:
+    if callee.is_native or name == CTOR_NAME:
+        return False
+    return len(callee.instructions) <= INLINE_MAX_INSTRUCTIONS
+
+
+def inline_method(
+    classfiles: Dict[str, ClassFile],
+    class_name: str,
+    method: MethodInfo,
+) -> InlineResult:
+    """Return the method body with eligible call sites inlined."""
+    instructions = list(method.instructions)
+    max_locals = method.max_locals
+    inlined: Set[Tuple[str, str, str]] = set()
+    for _ in range(INLINE_MAX_DEPTH):
+        changed = False
+        pc = 0
+        while pc < len(instructions):
+            instr = instructions[pc]
+            if instr.op in ("INVOKESTATIC", "INVOKESPECIAL"):
+                name, descriptor = instr.b
+                found = _lookup_static_target(classfiles, instr.a, name, descriptor)
+                if found is not None:
+                    owner, callee = found
+                    key = (owner, name, descriptor)
+                    # Refuse self-recursive inlining.
+                    if (
+                        _eligible(callee, name)
+                        and key != (class_name, method.name, method.descriptor)
+                    ):
+                        instructions, max_locals = _splice(
+                            instructions,
+                            pc,
+                            instr.op == "INVOKESPECIAL",
+                            callee,
+                            max_locals,
+                        )
+                        inlined.add(key)
+                        changed = True
+                        # Re-scan from the splice point next iteration of
+                        # the while loop (instructions list replaced).
+                        continue
+            pc += 1
+        if not changed:
+            break
+    return InlineResult(instructions, max_locals, inlined)
+
+
+def _splice(
+    instructions: List[Instr],
+    call_pc: int,
+    has_receiver: bool,
+    callee: MethodInfo,
+    caller_max_locals: int,
+) -> Tuple[List[Instr], int]:
+    """Replace the call at ``call_pc`` with the callee body."""
+    params, _ = parse_method_descriptor(callee.descriptor)
+    arg_slots = len(params) + (1 if has_receiver else 0)
+    base = caller_max_locals  # callee local i lives in caller slot base + i
+
+    # Build the replacement sequence: stores for args (reverse order, since
+    # the last argument is on top of the stack), then the remapped body.
+    splice: List[Instr] = []
+    for slot in range(arg_slots - 1, -1, -1):
+        splice.append(Instr("STORE", base + slot))
+    body_start = len(splice)
+    body_len = len(callee.instructions)
+    end_target_internal = body_start + body_len  # one past the body
+
+    for instr in callee.instructions:
+        if instr.op in ("LOAD", "STORE"):
+            splice.append(Instr(instr.op, instr.a + base))
+        elif instr.op in BRANCH_OPS:
+            splice.append(Instr(instr.op, instr.a + body_start))
+        elif instr.op in ("RETURN", "RETURN_VALUE"):
+            # Return value (if any) is already on the stack; jump past the
+            # inlined body.
+            splice.append(Instr("JUMP", end_target_internal))
+        else:
+            splice.append(instr)
+
+    delta = len(splice) - 1  # the call instruction is replaced
+
+    def remap(target: int) -> int:
+        if target <= call_pc:
+            return target
+        return target + delta
+
+    result: List[Instr] = []
+    for pc, instr in enumerate(instructions):
+        if pc == call_pc:
+            for s_index, s_instr in enumerate(splice):
+                if s_instr.op in BRANCH_OPS:
+                    result.append(Instr(s_instr.op, s_instr.a + call_pc))
+                else:
+                    result.append(s_instr)
+            continue
+        if instr.op in BRANCH_OPS:
+            result.append(Instr(instr.op, remap(instr.a)))
+        else:
+            result.append(instr)
+    return result, caller_max_locals + callee.max_locals

@@ -1,0 +1,371 @@
+"""The execution engine.
+
+Executes resolved machine code (:mod:`repro.vm.machinecode`) one thread at a
+time. Yield points sit at method entries, method exits and loop back edges,
+exactly where Jikes RVM puts them (paper §3.2): when the VM wants to stop
+the world (GC, DSU), it raises the yield flag and the running thread parks
+at its next yield point with every frame in a stack-map-consistent state.
+
+GC discipline: an instruction must not mutate the operand stack before its
+last potential allocation, so that a collection triggered mid-instruction
+still sees the operand stack exactly as the verifier's type state at the
+current pc describes it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .heap import NULL
+from .machinecode import MethodEntry
+from .natives import Block, NativeContext, lookup_native
+from .objectmodel import VMTrap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .frames import Frame, VMThread
+    from .vm import VM
+
+#: reasons run_thread returns
+RAN_QUANTUM = "quantum"
+PARKED_AT_YIELD = "yield"
+BLOCKED = "blocked"
+THREAD_DIED = "died"
+VM_HALTED = "halted"
+
+
+class Interpreter:
+    """Executes one thread at a time against the shared VM state."""
+
+    def __init__(self, vm: "VM"):
+        self.vm = vm
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # thread execution
+
+    def run_thread(self, thread: "VMThread", quantum: int) -> str:
+        """Run ``thread`` for up to ``quantum`` instructions.
+
+        Returns the park reason; the thread's frames are always left in a
+        safe-point-consistent state.
+        """
+        vm = self.vm
+        steps = 0
+        try:
+            while True:
+                if vm.halted:
+                    return VM_HALTED
+                if not thread.frames:
+                    thread.state = thread.DEAD
+                    return THREAD_DIED
+                frame = thread.frames[-1]
+                at_yield_point, outcome = self._step(thread, frame)
+                steps += 1
+                self.instructions_executed += 1
+                vm.clock.instruction()
+                if outcome == BLOCKED:
+                    return BLOCKED
+                if at_yield_point:
+                    if vm.yield_flag or vm.yield_requested:
+                        vm.yield_requested = False
+                        return PARKED_AT_YIELD
+                    if steps >= quantum:
+                        return RAN_QUANTUM
+        except VMTrap as trap:
+            thread.trap_message = str(trap)
+            thread.state = thread.DEAD
+            thread.frames.clear()
+            vm.record_trap(thread, trap)
+            return THREAD_DIED
+
+    # ------------------------------------------------------------------
+    # single instruction
+
+    def _step(self, thread: "VMThread", frame: "Frame"):
+        """Execute the instruction at ``frame.pc``.
+
+        Returns ``(at_yield_point, outcome)`` where outcome is ``None`` or
+        ``BLOCKED``.
+        """
+        vm = self.vm
+        code = frame.code.instructions
+        instr = code[frame.pc]
+        op = instr.op
+        stack = frame.stack
+
+        # --- constants / stack manipulation -----------------------------
+        if op == "CONST_INT":
+            stack.append(instr.a)
+        elif op == "CONST_BOOL":
+            stack.append(1 if instr.a else 0)
+        elif op == "CONST_NULL":
+            stack.append(NULL)
+        elif op == "CONST_STR":
+            stack.append(vm.intern_literal(instr.a))
+        elif op == "LOAD":
+            stack.append(frame.locals[instr.a])
+        elif op == "STORE":
+            frame.locals[instr.a] = stack.pop()
+        elif op == "POP":
+            stack.pop()
+        elif op == "DUP":
+            stack.append(stack[-1])
+        elif op == "SWAP":
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+
+        # --- arithmetic --------------------------------------------------
+        elif op == "ADD":
+            right = stack.pop()
+            stack[-1] = stack[-1] + right
+        elif op == "SUB":
+            right = stack.pop()
+            stack[-1] = stack[-1] - right
+        elif op == "MUL":
+            right = stack.pop()
+            stack[-1] = stack[-1] * right
+        elif op == "DIV":
+            right = stack.pop()
+            if right == 0:
+                raise VMTrap("division by zero")
+            stack[-1] = int(stack[-1] / right)  # truncate toward zero
+        elif op == "MOD":
+            right = stack.pop()
+            if right == 0:
+                raise VMTrap("modulo by zero")
+            left = stack[-1]
+            stack[-1] = left - int(left / right) * right
+        elif op == "NEG":
+            stack[-1] = -stack[-1]
+        elif op == "EQ":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] == right else 0
+        elif op == "NE":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] != right else 0
+        elif op == "LT":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] < right else 0
+        elif op == "LE":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] <= right else 0
+        elif op == "GT":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] > right else 0
+        elif op == "GE":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] >= right else 0
+        elif op == "NOT":
+            stack[-1] = 0 if stack[-1] else 1
+
+        # --- strings (allocation-careful: peek, allocate, then pop) ------
+        elif op == "I2S":
+            text = str(stack[-1])
+            address = vm.allocate_string(text)
+            stack[-1] = address
+        elif op == "B2S":
+            text = "true" if stack[-1] else "false"
+            address = vm.allocate_string(text)
+            stack[-1] = address
+        elif op == "SCONCAT":
+            left = vm.objects.string_payload(stack[-2]) if stack[-2] != NULL else "null"
+            right = vm.objects.string_payload(stack[-1]) if stack[-1] != NULL else "null"
+            address = vm.allocate_string(left + right)
+            stack.pop()
+            stack[-1] = address
+        elif op == "SEQ":
+            right = stack.pop()
+            left = stack[-1]
+            if left == NULL or right == NULL:
+                stack[-1] = 1 if left == right else 0
+            else:
+                stack[-1] = (
+                    1
+                    if vm.objects.string_payload(left) == vm.objects.string_payload(right)
+                    else 0
+                )
+        elif op == "REF_EQ":
+            right = stack.pop()
+            stack[-1] = 1 if stack[-1] == right else 0
+
+        # --- heap access --------------------------------------------------
+        elif op == "NEW":
+            rvmclass = vm.registry.by_class_id(instr.a)
+            stack.append(vm.allocate_object(rvmclass))
+        elif op == "NEWARRAY":
+            array_class = vm.registry.by_class_id(instr.a)
+            length = stack[-1]
+            address = vm.allocate_array(array_class, length)
+            stack[-1] = address
+        elif op == "GETFIELD":
+            address = stack.pop()
+            if vm.transform_read_barrier:
+                vm.maybe_force_transform(address)
+            stack.append(vm.objects.read_cell(address, instr.a))
+        elif op == "PUTFIELD":
+            value = stack.pop()
+            address = stack.pop()
+            vm.objects.write_cell(address, instr.a, value)
+        elif op == "GETSTATIC":
+            stack.append(vm.jtoc.read(instr.a))
+        elif op == "PUTSTATIC":
+            vm.jtoc.write(instr.a, stack.pop())
+        elif op == "ALOAD":
+            index = stack.pop()
+            address = stack.pop()
+            stack.append(vm.objects.array_get(address, index))
+        elif op == "ASTORE":
+            value = stack.pop()
+            index = stack.pop()
+            address = stack.pop()
+            vm.objects.array_set(address, index, value)
+        elif op == "ARRAYLENGTH":
+            stack[-1] = vm.objects.array_length(stack[-1])
+        elif op == "CHECKCAST":
+            vm.objects.checkcast(stack[-1], instr.a)
+        elif op == "INSTANCEOF":
+            stack[-1] = 1 if vm.objects.is_instance(stack[-1], instr.a) else 0
+
+        # --- control flow -------------------------------------------------
+        elif op == "JUMP":
+            target = instr.a
+            if target <= frame.pc:  # back edge: yield point
+                frame.pc = target
+                return True, None
+            frame.pc = target
+            return False, None
+        elif op == "JUMP_IF_FALSE":
+            if stack.pop() == 0:
+                frame.pc = instr.a
+                return False, None
+        elif op == "JUMP_IF_TRUE":
+            if stack.pop() != 0:
+                frame.pc = instr.a
+                return False, None
+
+        # --- calls ----------------------------------------------------------
+        elif op == "INVOKEVIRTUAL":
+            return self._invoke_virtual(thread, frame, instr.a, instr.b)
+        elif op == "INVOKESTATIC":
+            return self._invoke_entry(thread, frame, instr.a, instr.b, instr.b)
+        elif op == "INVOKESPECIAL":
+            return self._invoke_entry(thread, frame, instr.a, instr.b, instr.b)
+        elif op == "INVOKENATIVE":
+            argc, return_descriptor = instr.b
+            return self._invoke_native(
+                thread, frame, instr.a, argc, return_descriptor != "V"
+            )
+        elif op == "RETURN":
+            self._pop_frame(thread, frame, None)
+            return True, None
+        elif op == "RETURN_VALUE":
+            self._pop_frame(thread, frame, stack[-1])
+            return True, None
+        else:
+            raise VMTrap(f"unknown opcode {op}")
+
+        frame.pc += 1
+        return False, None
+
+    # ------------------------------------------------------------------
+    # call machinery
+
+    def _invoke_virtual(self, thread, frame, tib_slot: int, argc: int):
+        vm = self.vm
+        receiver = frame.stack[-argc - 1]
+        if receiver == NULL:
+            raise VMTrap("null receiver in virtual call")
+        rvmclass = vm.objects.class_of(receiver)
+        tib = rvmclass.tib
+        entry = tib.methods[tib_slot]
+        # Count every dispatch (a warm TIB cache must not hide hotness from
+        # the adaptive system) and refresh the cache when the entry's
+        # active code changed (invalidation or tier promotion).
+        jit = vm.jit
+        jit.count_invocation(entry)
+        jit.maybe_optimize(entry)
+        code = tib.code[tib_slot]
+        if code is None or code is not entry.active_code():
+            code = jit.ensure_compiled(entry)
+            tib.code[tib_slot] = code
+        if entry.info.is_native:
+            native_name = f"{entry.owner.name}.{entry.info.name}"
+            return self._invoke_native(
+                thread, frame, native_name, argc + 1, not entry.info.descriptor.endswith("V")
+            )
+        return self._push_frame(thread, frame, code, argc + 1)
+
+    def _invoke_entry(self, thread, frame, entry_id: int, argc: int, _):
+        vm = self.vm
+        entry = vm.methods.by_id(entry_id)
+        if entry.obsolete:
+            raise VMTrap(f"call to obsolete method {entry.qualified_name}")
+        if entry.info.is_native:
+            native_name = f"{entry.owner.name}.{entry.info.name}"
+            return self._invoke_native(
+                thread,
+                frame,
+                native_name,
+                argc,
+                not entry.info.descriptor.endswith("V"),
+            )
+        code = self._prepare_code(entry)
+        return self._push_frame(thread, frame, code, argc)
+
+    def _prepare_code(self, entry: MethodEntry):
+        jit = self.vm.jit
+        jit.count_invocation(entry)
+        jit.maybe_optimize(entry)
+        return jit.ensure_compiled(entry)
+
+    def _push_frame(self, thread, caller: "Frame", code, arg_cells: int):
+        from .frames import Frame
+
+        if len(thread.frames) >= self.vm.max_stack_depth:
+            raise VMTrap("stack overflow")
+        args = caller.stack[-arg_cells:] if arg_cells else []
+        frame = Frame(code, args, arg_cells)
+        thread.frames.append(frame)
+        # Method entry is a yield point; the caller's pc stays at the call.
+        return True, None
+
+    def _pop_frame(self, thread, frame: "Frame", return_value):
+        vm = self.vm
+        thread.frames.pop()
+        if frame.return_barrier:
+            vm.on_return_barrier(thread, frame)
+        if thread.frames:
+            caller = thread.frames[-1]
+            if frame.arg_cells:
+                del caller.stack[-frame.arg_cells :]
+            if return_value is not None:
+                caller.stack.append(return_value)
+            caller.pc += 1
+        else:
+            thread.state = thread.DEAD
+            if return_value is not None:
+                thread.result = return_value
+
+    def _invoke_native(self, thread, frame, native_name: str, argc: int, has_result: bool):
+        vm = self.vm
+        fn = lookup_native(native_name)
+        args = frame.stack[-argc:] if argc else []
+        context = NativeContext(vm, thread)
+        try:
+            result = fn(context, args)
+        finally:
+            context.release_roots()
+        if isinstance(result, Block):
+            thread.state = thread.BLOCKED
+            thread.wake_condition = result.wake_condition
+            thread.wake_at_ms = result.wake_at_ms
+            # pc unchanged: the native re-executes on wake.
+            return True, BLOCKED
+        vm.clock.tick(vm.clock.costs.native_call)
+        if argc:
+            del frame.stack[-argc:]
+        if has_result:
+            frame.stack.append(result)
+        frame.pc += 1
+        # Native-call completion is a yield point (this is also what makes
+        # Sys.yield take effect immediately).
+        return True, None

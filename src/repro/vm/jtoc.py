@@ -1,0 +1,40 @@
+"""The JTOC (Jikes RVM's "Java Table of Contents") analogue.
+
+A single global table holding every static field's value. Compiled code
+reaches statics through baked JTOC indices; the garbage collector scans the
+table's reference slots as roots.
+
+During a dynamic update, changed classes receive *fresh* JTOC slots for
+their statics (the class transformer then populates them), which is why
+compiled code that referenced the old slots must be recompiled — the paper's
+category-(2) indirect method updates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class JTOC:
+    """Global static-field storage."""
+
+    def __init__(self):
+        self.cells: List[int] = []
+        self.is_ref: List[bool] = []
+        #: human-readable owner tag per slot, for debugging and tests
+        self.labels: List[str] = []
+
+    def allocate(self, is_reference: bool, label: str = "") -> int:
+        self.cells.append(0)
+        self.is_ref.append(is_reference)
+        self.labels.append(label)
+        return len(self.cells) - 1
+
+    def read(self, index: int) -> int:
+        return self.cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        self.cells[index] = value
+
+    def __len__(self) -> int:
+        return len(self.cells)

@@ -1,0 +1,109 @@
+"""On-stack replacement.
+
+Jikes RVM's OSR extracts a frame's live state, recompiles the method and
+resumes at the equivalent pc (paper §3.2). Jvolve reuses that machinery for
+DSU: category-(2) methods — unchanged bytecode, stale baked offsets — can be
+recompiled *while active* so they stop blocking a DSU safe point.
+
+Our base tier resolves bytecode one-for-one, so the pc/locals/operand-stack
+mapping between the old and new machine code is the identity; replacing a
+base frame is a code-pointer swap. Opt-tier frames (which may contain
+inlined bodies and therefore a different instruction stream) are not
+OSR-able, matching the paper: "we only support OSR for base-compiled
+category (2) methods, which do not contain any inlined calls."
+
+We extend the stock mechanism the same way the paper does: multiple frames
+in one stack, and frames across multiple threads, can all be replaced in
+one pass (§3.2 "We extend Jikes RVM's OSR facilities to support multiple
+stack activation records, and multiple stack frames on the same stack").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vm import VM
+
+
+class OSRError(Exception):
+    """A frame could not be replaced on stack."""
+
+
+def can_osr(frame: Frame) -> bool:
+    """Only base-tier frames of methods whose bytecode is unchanged since
+    the frame was pushed can be identity-remapped."""
+    return (
+        frame.code.is_base
+        and frame.code.entry.bytecode_version == frame.entered_at_version
+    )
+
+
+def osr_replace(vm: "VM", frame: Frame) -> None:
+    """Recompile the frame's method at the base tier (against the *current*
+    class metadata, i.e. with the update's new offsets) and swap the
+    machine code under the running activation."""
+    if not can_osr(frame):
+        raise OSRError(
+            f"frame {frame.code.entry.qualified_name} is not OSR-capable "
+            f"(tier={frame.code.tier})"
+        )
+    entry = frame.code.entry
+    new_code = vm.jit.compile_base(entry)
+    if len(new_code.instructions) != len(frame.code.instructions):
+        raise OSRError(
+            f"baseline recompilation of {entry.qualified_name} changed length"
+        )
+    # Identity state mapping: pc, locals and operand stack carry over.
+    frame.code = new_code
+    frame.entered_at_version = entry.bytecode_version
+
+
+def osr_replace_all(vm: "VM", frames: Iterable[Frame]) -> int:
+    """Replace every frame in ``frames``; returns the count."""
+    count = 0
+    for frame in frames:
+        osr_replace(vm, frame)
+        count += 1
+    return count
+
+
+def osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
+    """Extended OSR (the paper's §3.5 future work, UpStare-style): replace a
+    frame whose *bytecode changed*, using a user-supplied mapping from old
+    yield-point pcs to new pcs and from old local slots to new slots.
+
+    The method entry must already carry the new bytecode. The operand stack
+    is carried over verbatim; the new pc's verified stack shape must agree
+    (same depth, same reference pattern), otherwise the replacement is
+    refused.
+    """
+    entry = frame.code.entry
+    new_code = vm.jit.compile_base(entry)
+    old_pc = frame.pc
+    if old_pc not in pc_map:
+        raise OSRError(
+            f"no pc mapping for {entry.qualified_name} at pc {old_pc}"
+        )
+    new_pc = pc_map[old_pc]
+    new_state = new_code.stack_states.get(new_pc)
+    if new_state is None:
+        raise OSRError(
+            f"mapped pc {new_pc} of {entry.qualified_name} is unreachable"
+        )
+    old_refs = frame.code.stack_states[old_pc].reference_map()[1]
+    new_refs = new_state.reference_map()[1]
+    if old_refs != new_refs:
+        raise OSRError(
+            f"operand stack shape mismatch mapping {entry.qualified_name} "
+            f"pc {old_pc} -> {new_pc}"
+        )
+    new_locals = [0] * new_code.max_locals
+    for old_slot, new_slot in locals_map.items():
+        new_locals[new_slot] = frame.locals[old_slot]
+    frame.code = new_code
+    frame.pc = new_pc
+    frame.locals = new_locals
+    frame.entered_at_version = entry.bytecode_version

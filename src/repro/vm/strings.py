@@ -1,0 +1,36 @@
+"""The VM string table.
+
+jmini strings are immutable heap objects whose single data cell is an index
+into this side table of Python strings. The heap object (3 cells) is what
+the garbage collector copies and what reference fields point at; the payload
+never moves. Payload indices are deduplicated so equal literals share
+storage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class StringTable:
+    """Append-only payload storage for string objects."""
+
+    def __init__(self):
+        self._payloads: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    def intern_payload(self, text: str) -> int:
+        """Return the payload index for ``text``, adding it if new."""
+        existing = self._index.get(text)
+        if existing is not None:
+            return existing
+        index = len(self._payloads)
+        self._payloads.append(text)
+        self._index[text] = index
+        return index
+
+    def payload(self, index: int) -> str:
+        return self._payloads[index]
+
+    def __len__(self) -> int:
+        return len(self._payloads)

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.vm.vm import VM
+
+
+def make_vm(source, heap_cells=1 << 16, version="v1", **vm_kwargs):
+    """Compile ``source``, boot a VM with it, return the VM."""
+    vm = VM(heap_cells=heap_cells, **vm_kwargs)
+    vm.boot(compile_source(source, version=version))
+    return vm
+
+
+def run_main(source, class_name="Main", heap_cells=1 << 16, max_instructions=2_000_000,
+             **vm_kwargs):
+    """Compile + boot + run ``class_name.main()`` to completion.
+
+    Returns the VM for inspection (console output, heap, stats...).
+    """
+    vm = make_vm(source, heap_cells=heap_cells, **vm_kwargs)
+    vm.start_main(class_name)
+    vm.run(max_instructions=max_instructions)
+    return vm
+
+
+@pytest.fixture
+def vm_factory():
+    return make_vm

@@ -1,0 +1,158 @@
+"""Unit tests for class files: serialization, hashing, diff helpers, the
+disassembler and the classloader's error paths."""
+
+import pytest
+
+from repro.bytecode.classfile import ClassFile, MethodInfo
+from repro.bytecode.disassembler import disassemble_class, disassemble_method
+from repro.bytecode.instructions import Instr, referenced_classes
+from repro.compiler.compile import compile_source
+from repro.compiler.jastadd import compile_transformers
+from repro.vm.classloader import ClassLoadError
+from repro.vm.vm import VM
+
+SOURCE = """
+class Point {
+    int x;
+    static int made;
+    Point(int x0) { this.x = x0; Point.made = Point.made + 1; }
+    int getX() { return x; }
+    string tag() { return "p" + x; }
+}
+class Main { static void main() { Sys.print("" + new Point(3).getX()); } }
+"""
+
+
+@pytest.fixture(scope="module")
+def classfiles():
+    return compile_source(SOURCE, version="t1")
+
+
+class TestSerialization:
+    def test_json_roundtrip_preserves_everything(self, classfiles):
+        point = classfiles["Point"]
+        restored = ClassFile.from_json(point.to_json())
+        assert restored.name == point.name
+        assert restored.superclass == point.superclass
+        assert restored.field_signature() == point.field_signature()
+        assert restored.method_signatures() == point.method_signatures()
+        assert restored.source_version == "t1"
+
+    def test_roundtrip_preserves_tuple_operands(self, classfiles):
+        main = classfiles["Main"]
+        restored = ClassFile.from_json(main.to_json())
+        method = restored.get_method("main", "()V")
+        invokes = [i for i in method.instructions if i.op.startswith("INVOKE")]
+        assert invokes and all(isinstance(i.b, tuple) for i in invokes)
+
+    def test_roundtripped_program_still_runs(self, classfiles):
+        restored = {
+            name: ClassFile.from_json(cf.to_json()) for name, cf in classfiles.items()
+        }
+        vm = VM()
+        vm.boot(restored)
+        vm.start_main("Main")
+        vm.run(max_instructions=100_000)
+        assert vm.console == ["3"]
+
+
+class TestHashing:
+    def test_hash_stable_across_compilations(self):
+        first = compile_source(SOURCE)["Point"].method_signatures()
+        second = compile_source(SOURCE)["Point"].method_signatures()
+        assert first == second
+
+    def test_hash_changes_with_body(self):
+        changed = SOURCE.replace("return x;", "return x + 1;")
+        first = compile_source(SOURCE)["Point"]
+        second = compile_source(changed)["Point"]
+        key = ("getX", "()I")
+        assert first.method_signatures()[key] != second.method_signatures()[key]
+
+    def test_hash_unaffected_by_sibling_method_edits(self):
+        # The bug class CONST_STR-by-pool-index would have caused: editing
+        # one method's literals must not change another method's hash.
+        changed = SOURCE.replace('return "p" + x;', 'return "point-" + x;')
+        first = compile_source(SOURCE)["Point"]
+        second = compile_source(changed)["Point"]
+        key = ("getX", "()I")
+        assert first.method_signatures()[key] == second.method_signatures()[key]
+
+    def test_native_methods_hash_empty(self):
+        from repro.compiler.compile import compile_prelude
+
+        sys_cf = compile_prelude()["Sys"]
+        signatures = sys_cf.method_signatures()
+        for key, method in sys_cf.methods.items():
+            if method.is_native:
+                assert signatures[key] == ""
+            else:
+                assert signatures[key] != ""  # the implicit constructor
+
+
+class TestReferencedClasses:
+    def test_layout_sensitive_ops_counted(self, classfiles):
+        method = classfiles["Point"].get_method("getX", "()I")
+        assert "Point" in method.referenced_classes()
+
+    def test_static_calls_not_layout_sensitive(self):
+        instructions = [Instr("INVOKESTATIC", "Util", ("f", "()V")), Instr("RETURN")]
+        assert referenced_classes(instructions) == frozenset()
+
+    def test_new_is_layout_sensitive(self):
+        instructions = [Instr("NEW", "Widget"), Instr("POP"), Instr("RETURN")]
+        assert referenced_classes(instructions) == frozenset({"Widget"})
+
+
+class TestDisassembler:
+    def test_method_listing(self, classfiles):
+        listing = disassemble_method(classfiles["Point"].get_method("getX", "()I"))
+        assert "getX()I" in listing
+        assert "GETFIELD" in listing
+        assert "RETURN_VALUE" in listing
+
+    def test_class_listing(self, classfiles):
+        listing = disassemble_class(classfiles["Point"])
+        assert "class Point extends Object" in listing
+        assert "x: I" in listing
+        assert "<init>" in listing
+
+
+class TestClassLoader:
+    def test_duplicate_load_rejected(self, classfiles):
+        vm = VM()
+        vm.boot(classfiles)
+        with pytest.raises(ClassLoadError, match="already loaded"):
+            vm.loader.load(dict(compile_source(SOURCE)))
+
+    def test_missing_superclass_rejected(self):
+        orphan = ClassFile("Orphan", "Ghost")
+        vm = VM()
+        vm.boot({})
+        with pytest.raises(ClassLoadError, match="unloaded class"):
+            vm.loader.load({"Orphan": orphan})
+
+    def test_transformer_flag_blocks_normal_load(self):
+        transformers = compile_transformers(
+            "class JvolveTransformers { static void nop() { } }"
+        )
+        vm = VM()
+        vm.boot({})
+        with pytest.raises(ClassLoadError, match="access-override"):
+            vm.loader.load(transformers)
+        # ...but the DSU path may load it explicitly.
+        vm.loader.load(transformers, allow_access_override=True)
+
+    def test_clinit_runs_at_load(self):
+        vm = VM()
+        vm.boot(compile_source("class C { static int x = 41; }"))
+        c = vm.registry.get("C")
+        assert vm.jtoc.read(c.static_slots["x"]) == 41
+
+    def test_superclass_ordering_automatic(self):
+        source = ("class B extends A { int b; } class A { int a; } "
+                  "class C extends B { int c; }")
+        vm = VM()
+        vm.boot(compile_source(source))
+        c = vm.registry.get("C")
+        assert [f.name for f in c.field_layout] == ["a", "b", "c"]

@@ -1,0 +1,141 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+V1 = """
+class Greeter { static string greet() { return "v1"; } }
+class Main {
+    static int rounds;
+    static void main() {
+        while (rounds < 10) {
+            Sys.print(Greeter.greet());
+            Sys.sleep(10);
+            rounds = rounds + 1;
+        }
+    }
+}
+"""
+V2 = V1.replace('return "v1";', 'return "v2";')
+
+
+@pytest.fixture
+def program_files(tmp_path):
+    old = tmp_path / "old.jm"
+    new = tmp_path / "new.jm"
+    old.write_text(V1)
+    new.write_text(V2)
+    return str(old), str(new)
+
+
+class TestRun:
+    def test_run_prints_console(self, program_files, capsys):
+        old, _ = program_files
+        assert main(["run", old, "--until-ms", "500"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["v1"] * 10
+
+    def test_run_reports_traps(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jm"
+        bad.write_text(
+            "class Main { static void main() { int z = 0; int x = 1 / z; } }"
+        )
+        assert main(["run", str(bad)]) == 1
+        assert "division" in capsys.readouterr().err
+
+
+class TestDisasm:
+    def test_disasm_lists_bytecode(self, program_files, capsys):
+        old, _ = program_files
+        assert main(["disasm", old, "--class-name", "Greeter"]) == 0
+        out = capsys.readouterr().out
+        assert "class Greeter" in out
+        assert "CONST_STR 'v1'" in out
+
+    def test_disasm_unknown_class(self, program_files, capsys):
+        old, _ = program_files
+        assert main(["disasm", old, "--class-name", "Nope"]) == 1
+
+
+class TestDiff:
+    def test_diff_reports_classification(self, program_files, capsys):
+        old, new = program_files
+        assert main(["diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "body-changed 1" in out
+        assert "method-body-only systems: yes" in out
+
+
+class TestUpdate:
+    def test_update_applies_and_switches_output(self, program_files, capsys):
+        old, new = program_files
+        code = main(["update", old, new, "--at", "45", "--until-ms", "2000"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.splitlines()
+        assert "v1" in lines and "v2" in lines
+        assert "[update] applied" in captured.err
+
+    def test_update_with_transformer_overrides_file(self, tmp_path, capsys):
+        v1 = tmp_path / "a.jm"
+        v2 = tmp_path / "b.jm"
+        v1.write_text("""
+class State { int level; }
+class Keep { static State s; }
+class Main {
+    static int rounds;
+    static void main() {
+        Keep.s = new State();
+        Keep.s.level = 3;
+        while (rounds < 20) { Sys.sleep(10); rounds = rounds + 1; }
+        Sys.print("" + Show.text());
+    }
+}
+class Show { static string text() { return "L" + Keep.s.level; } }
+""")
+        v2.write_text("""
+class State { int level; int stars; }
+class Keep { static State s; }
+class Main {
+    static int rounds;
+    static void main() {
+        Keep.s = new State();
+        Keep.s.level = 3;
+        while (rounds < 20) { Sys.sleep(10); rounds = rounds + 1; }
+        Sys.print("" + Show.text());
+    }
+}
+class Show { static string text() { return "L" + Keep.s.level + "*" + Keep.s.stars; } }
+""")
+        transformers = tmp_path / "trans.jvt"
+        transformers.write_text("""=== State
+    static void jvolveClass(State unused) { }
+    static void jvolveObject(State to, v10_State from) {
+        to.level = from.level;
+        to.stars = from.level * 10;
+    }
+""")
+        code = main([
+            "update", str(v1), str(v2), "--at", "45", "--until-ms", "2000",
+            "--transformers", str(transformers),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "L3*30" in captured.out
+
+    def test_update_abort_exit_code(self, tmp_path, capsys):
+        v1 = tmp_path / "s1.jm"
+        v2 = tmp_path / "s2.jm"
+        v1.write_text("""
+class Loop { static int n; static void spin() { while (true) { Sys.sleep(5); n = n + 1; if (n > 500) { Sys.halt(); } } } }
+class Main { static void main() { Loop.spin(); } }
+""")
+        v2.write_text(v1.read_text().replace("n = n + 1;", "n = n + 2;"))
+        code = main([
+            "update", str(v1), str(v2), "--at", "20",
+            "--timeout-ms", "200", "--until-ms", "1500",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "aborted" in captured.err

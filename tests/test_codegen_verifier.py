@@ -1,0 +1,405 @@
+"""Integration tests: compiler output passes the bytecode verifier, and the
+verifier rejects malformed bytecode."""
+
+import pytest
+
+from repro.bytecode.classfile import ClassFile, MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.bytecode.verifier import (
+    ClassTable,
+    Verifier,
+    VerifyError,
+    verify_classfiles,
+)
+from repro.compiler.compile import compile_prelude, compile_source
+from repro.compiler.jastadd import compile_transformers, has_access_override
+
+
+def compile_and_verify(source, **kwargs):
+    classfiles = dict(compile_prelude())
+    classfiles.update(compile_source(source, **kwargs))
+    return classfiles, verify_classfiles(classfiles)
+
+
+SIMPLE_PROGRAM = """
+class Point {
+    int x;
+    int y;
+    Point(int x0, int y0) { this.x = x0; this.y = y0; }
+    int dist2() { return x * x + y * y; }
+}
+class Main {
+    static void main() {
+        Point p = new Point(3, 4);
+        Sys.print("d2=" + p.dist2());
+    }
+}
+"""
+
+
+class TestCompiledCodeVerifies:
+    def test_simple_program(self):
+        compile_and_verify(SIMPLE_PROGRAM)
+
+    def test_control_flow(self):
+        compile_and_verify(
+            """
+            class Main {
+                static int collatz(int n) {
+                    int steps = 0;
+                    while (n != 1) {
+                        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                        steps = steps + 1;
+                    }
+                    return steps;
+                }
+            }
+            """
+        )
+
+    def test_for_loop_with_break_continue(self):
+        compile_and_verify(
+            """
+            class Main {
+                static int f() {
+                    int total = 0;
+                    for (int i = 0; i < 100; i = i + 1) {
+                        if (i % 3 == 0) { continue; }
+                        if (i > 50) { break; }
+                        total = total + i;
+                    }
+                    return total;
+                }
+            }
+            """
+        )
+
+    def test_strings_and_arrays(self):
+        compile_and_verify(
+            """
+            class Main {
+                static string join(string[] parts, string sep) {
+                    string result = "";
+                    for (int i = 0; i < parts.length; i = i + 1) {
+                        if (i > 0) { result = result + sep; }
+                        result = result + parts[i];
+                    }
+                    return result;
+                }
+                static void main() {
+                    string[] parts = "a@b@c".split("@");
+                    Sys.print(join(parts, "-"));
+                }
+            }
+            """
+        )
+
+    def test_inheritance_and_virtual_dispatch(self):
+        compile_and_verify(
+            """
+            class Shape { int area() { return 0; } }
+            class Square extends Shape {
+                int side;
+                Square(int s) { this.side = s; }
+                int area() { return side * side; }
+            }
+            class Main {
+                static int total(Shape[] shapes) {
+                    int sum = 0;
+                    for (int i = 0; i < shapes.length; i = i + 1) {
+                        sum = sum + shapes[i].area();
+                    }
+                    return sum;
+                }
+            }
+            """
+        )
+
+    def test_logical_short_circuit(self):
+        compile_and_verify(
+            """
+            class Main {
+                static bool both(bool a, bool b) { return a && b || !a; }
+            }
+            """
+        )
+
+    def test_casts_and_instanceof(self):
+        compile_and_verify(
+            """
+            class A { int tag() { return 0; } }
+            class B extends A { int extra; int tag() { return 1; } }
+            class Main {
+                static int f(A a) {
+                    if (a instanceof B) { B b = (B)a; return b.extra; }
+                    return a.tag();
+                }
+            }
+            """
+        )
+
+    def test_static_fields_and_clinit(self):
+        classfiles, _ = compile_and_verify(
+            """
+            class Config { static int port = 8080; static string host = "x"; }
+            """
+        )
+        assert classfiles["Config"].get_method("<clinit>", "()V") is not None
+
+    def test_field_initializers_compiled_into_ctor(self):
+        classfiles, _ = compile_and_verify(
+            """
+            class C { int x = 41; C() { this.x = this.x + 1; } }
+            """
+        )
+        ctor = classfiles["C"].get_method("<init>", "()V")
+        ops = [i.op for i in ctor.instructions]
+        assert "PUTFIELD" in ops
+
+    def test_super_constructor_chain(self):
+        compile_and_verify(
+            """
+            class A { int x; A(int x0) { this.x = x0; } }
+            class B extends A { int y; B() { super(10); this.y = 2; } }
+            """
+        )
+
+    def test_string_comparisons(self):
+        compile_and_verify(
+            """
+            class Main {
+                static bool eq(string a, string b) { return a == b; }
+                static bool isNull(string a) { return a == null; }
+            }
+            """
+        )
+
+    def test_while_true_loop(self):
+        compile_and_verify(
+            """
+            class Main {
+                static void serve() {
+                    while (true) { Sys.yield(); }
+                }
+            }
+            """
+        )
+
+
+class TestVerifierRejectsBadBytecode:
+    def _table(self):
+        return ClassTable(compile_prelude())
+
+    def _method(self, instructions, descriptor="()V", max_locals=0, is_static=True):
+        return MethodInfo("m", descriptor, is_static, False, "public", max_locals,
+                          [Instr(*i) if isinstance(i, tuple) else i for i in instructions])
+
+    def _verify(self, method):
+        Verifier(self._table()).verify_method("Object", method)
+
+    def test_stack_underflow(self):
+        with pytest.raises(VerifyError, match="underflow"):
+            self._verify(self._method([("POP",), ("RETURN",)]))
+
+    def test_fall_off_end(self):
+        with pytest.raises(VerifyError, match="fall off"):
+            self._verify(self._method([("CONST_INT", 1), ("POP",)]))
+
+    def test_branch_out_of_range(self):
+        with pytest.raises(VerifyError, match="target"):
+            self._verify(self._method([("JUMP", 99)]))
+
+    def test_type_confusion_add_on_string(self):
+        with pytest.raises(VerifyError, match="expected int"):
+            self._verify(
+                self._method(
+                    [("CONST_STR", "lit"), ("CONST_INT", 1), ("ADD",), ("POP",), ("RETURN",)]
+                )
+            )
+
+    def test_uninitialized_local_load(self):
+        with pytest.raises(VerifyError, match="uninitialized"):
+            self._verify(self._method([("LOAD", 0), ("POP",), ("RETURN",)], max_locals=1))
+
+    def test_slot_type_conflict(self):
+        with pytest.raises(VerifyError, match="conflicting"):
+            self._verify(
+                self._method(
+                    [
+                        ("CONST_INT", 1),
+                        ("STORE", 0),
+                        ("CONST_STR", "lit"),
+                        ("STORE", 0),
+                        ("RETURN",),
+                    ],
+                    max_locals=1,
+                )
+            )
+
+    def test_stack_depth_mismatch_at_merge(self):
+        # Path A pushes one value before the join, path B pushes none.
+        with pytest.raises(VerifyError, match="depth mismatch"):
+            self._verify(
+                self._method(
+                    [
+                        ("CONST_BOOL", True),   # 0
+                        ("JUMP_IF_FALSE", 3),   # 1
+                        ("CONST_INT", 7),       # 2 -> falls into 3 with depth 1
+                        ("RETURN",),            # 3 (depth 0 via jump, 1 via fall)
+                    ]
+                )
+            )
+
+    def test_return_value_in_void_method(self):
+        with pytest.raises(VerifyError, match="RETURN_VALUE in void"):
+            self._verify(self._method([("CONST_INT", 1), ("RETURN_VALUE",)]))
+
+    def test_wrong_return_type(self):
+        with pytest.raises(VerifyError, match="cannot return"):
+            self._verify(
+                self._method([("CONST_STR", "lit"), ("RETURN_VALUE",)], descriptor="()I")
+            )
+
+    def test_unknown_field(self):
+        with pytest.raises(VerifyError, match="unknown field"):
+            self._verify(
+                self._method([("GETSTATIC", "Object", "nope"), ("POP",), ("RETURN",)])
+            )
+
+    def test_unknown_method(self):
+        with pytest.raises(VerifyError, match="unknown method"):
+            self._verify(
+                self._method(
+                    [("INVOKESTATIC", "Sys", ("nope", "()V")), ("RETURN",)]
+                )
+            )
+
+    def test_unknown_class_in_new(self):
+        with pytest.raises(VerifyError, match="unknown class"):
+            self._verify(self._method([("NEW", "Ghost"), ("POP",), ("RETURN",)]))
+
+
+class TestAccessEnforcementAtBytecodeLevel:
+    def _classfiles(self):
+        source = """
+        class Secret {
+            private int code;
+            final int version;
+            Secret() { this.version = 1; }
+        }
+        """
+        classfiles = dict(compile_prelude())
+        classfiles.update(compile_source(source))
+        return classfiles
+
+    def _attacker(self, instructions, max_locals=1):
+        attacker = ClassFile("Attacker", "Object")
+        attacker.add_method(
+            MethodInfo(
+                "steal", "(LSecret;)V", True, False, "public", max_locals,
+                [Instr(*i) for i in instructions],
+            )
+        )
+        return attacker
+
+    def test_private_field_access_rejected(self):
+        classfiles = self._classfiles()
+        attacker = self._attacker(
+            [("LOAD", 0), ("GETFIELD", "Secret", "code"), ("POP",), ("RETURN",)]
+        )
+        classfiles["Attacker"] = attacker
+        table = ClassTable(classfiles)
+        with pytest.raises(VerifyError, match="private"):
+            Verifier(table).verify_class(attacker)
+
+    def test_final_store_rejected_outside_init(self):
+        classfiles = self._classfiles()
+        attacker = self._attacker(
+            [("LOAD", 0), ("CONST_INT", 9), ("PUTFIELD", "Secret", "version"), ("RETURN",)]
+        )
+        classfiles["Attacker"] = attacker
+        table = ClassTable(classfiles)
+        with pytest.raises(VerifyError, match="final"):
+            Verifier(table).verify_class(attacker)
+
+    def test_access_override_allows_both(self):
+        classfiles = self._classfiles()
+        attacker = self._attacker(
+            [
+                ("LOAD", 0),
+                ("GETFIELD", "Secret", "code"),
+                ("POP",),
+                ("LOAD", 0),
+                ("CONST_INT", 9),
+                ("PUTFIELD", "Secret", "version"),
+                ("RETURN",),
+            ]
+        )
+        classfiles["Attacker"] = attacker
+        table = ClassTable(classfiles)
+        Verifier(table, access_override=True).verify_class(attacker)
+
+    def test_jastadd_mode_compiles_access_violations(self):
+        # The transformer compiler accepts source that touches private and
+        # final fields of other classes, and tags the class file.
+        source = """
+        class Holder { private final int secret; Holder() { this.secret = 1; } }
+        class JvolveTransformers {
+            static void poke(Holder h) { h.secret = 42; }
+        }
+        """
+        classfiles = compile_transformers(source)
+        assert has_access_override(classfiles["JvolveTransformers"])
+        full = dict(compile_prelude())
+        full.update(classfiles)
+        verify_classfiles(full, access_override=True)
+        with pytest.raises(VerifyError):
+            verify_classfiles(full, access_override=False)
+
+
+class TestStackMaps:
+    def test_reference_map_at_call_site(self):
+        """Mid-expression call: the caller's operand stack holds a reference
+        that the GC must treat as a root (paper §3.4 stack maps)."""
+        source = """
+        class Pair {
+            Pair left;
+            Pair(Pair l) { this.left = l; }
+        }
+        class Main {
+            static Pair make() { return new Pair(new Pair(null)); }
+        }
+        """
+        classfiles = dict(compile_prelude())
+        classfiles.update(compile_source(source))
+        verified = verify_classfiles(classfiles)
+        make = verified["Main"][("make", "()LPair;")]
+        # Find the inner INVOKESPECIAL; the outer Pair ref sits on the stack.
+        instructions = make.method.instructions
+        call_pcs = [
+            pc for pc, i in enumerate(instructions) if i.op == "INVOKESPECIAL"
+        ]
+        inner_call = call_pcs[0]
+        _, stack_refs = make.stack_map_at(inner_call).reference_map()
+        assert any(stack_refs), "expected a live reference on the operand stack"
+
+    def test_local_reference_map(self):
+        source = """
+        class Main {
+            static int f() {
+                string s = "hello";
+                int n = 1;
+                return n + s.length();
+            }
+        }
+        """
+        classfiles = dict(compile_prelude())
+        classfiles.update(compile_source(source))
+        verified = verify_classfiles(classfiles)
+        f = verified["Main"][("f", "()I")]
+        final_pcs = [
+            pc for pc, i in enumerate(f.method.instructions) if i.op == "RETURN_VALUE"
+        ]
+        locals_refs, _ = f.stack_map_at(final_pcs[0]).reference_map()
+        assert locals_refs[0] is True   # s
+        assert locals_refs[1] is False  # n

@@ -1,0 +1,214 @@
+"""Semantic guarantees of DSU safe points (paper §3.2).
+
+Includes a reproduction of the paper's version-consistency example: method
+``handle`` calls ``process`` then ``cleanup``; the update moves an
+initialization from ``cleanup`` into ``process``. If the update lands while
+``handle`` is between the two calls, the program runs *old* ``process``
+(no initialization) followed by *new* ``cleanup`` (which no longer
+initializes) — "leading to incorrect semantics. To avoid such version
+consistency problems the programmer can include handle in the restricted
+set."
+"""
+
+import pytest
+
+from tests.dsu_helpers import UpdateFixture
+
+# ---------------------------------------------------------------------------
+# the §3.2 version-consistency example
+
+# v1: cleanup() initializes Status.code and then reports it.
+CONSISTENCY_V1 = """
+class Status {
+    static int code;
+    static int reports;
+}
+class Worker {
+    static void handle() {
+        process();
+        Sys.sleep(40);
+        cleanup();
+    }
+    static void process() {
+        Status.reports = Status.reports + 0;
+    }
+    static void cleanup() {
+        Status.code = 7;
+        report();
+    }
+    static void report() {
+        Sys.print("code=" + Status.code);
+        Status.code = 0;
+    }
+}
+class Main {
+    static int rounds;
+    static void main() {
+        while (rounds < 6) {
+            Worker.handle();
+            rounds = rounds + 1;
+        }
+    }
+}
+"""
+
+# v2: the initialization moves into process(); cleanup() only reports.
+CONSISTENCY_V2 = CONSISTENCY_V1.replace(
+    """    static void process() {
+        Status.reports = Status.reports + 0;
+    }
+    static void cleanup() {
+        Status.code = 7;
+        report();
+    }""",
+    """    static void process() {
+        Status.code = 7;
+        Status.reports = Status.reports + 0;
+    }
+    static void cleanup() {
+        report();
+    }""",
+)
+
+
+class TestVersionConsistency:
+    def test_without_blacklist_a_hybrid_execution_is_observable(self):
+        # Request the update while handle() sleeps between process() and
+        # cleanup(): handle's bytecode is unchanged, so the update applies
+        # — and this round observes old-process + new-cleanup: code=0.
+        fixture = UpdateFixture(CONSISTENCY_V1).start()
+        holder = fixture.update_at(60, CONSISTENCY_V2)
+        fixture.run(until_ms=2_000)
+        result = holder["result"]
+        assert result.succeeded, result.reason
+        assert "code=0" in fixture.console  # the hybrid round misfired
+        assert fixture.console[0] == "code=7"  # pure-old rounds were fine
+        assert fixture.console[-1] == "code=7"  # pure-new rounds are fine
+
+    def test_blacklisting_handle_restores_consistency(self):
+        # "the programmer can include handle in the restricted set": the
+        # update then waits for handle() to return before applying.
+        fixture = UpdateFixture(CONSISTENCY_V1).start()
+        holder = fixture.update_at(
+            60, CONSISTENCY_V2,
+            blacklist=[("Worker", "handle", "()V")],
+        )
+        fixture.run(until_ms=2_000)
+        result = holder["result"]
+        assert result.succeeded, result.reason
+        assert result.used_return_barriers  # waited for handle to return
+        assert all(line == "code=7" for line in fixture.console)
+        assert len(fixture.console) == 6
+
+
+# ---------------------------------------------------------------------------
+# strict old/new partition of executions (§3.2: "no code from the new
+# version executes before the update completes, and no code from the old
+# version executes afterward")
+
+PARTITION_V1 = """
+class Emit {
+    static string phase() { return "old"; }
+    static string tag() { return "O"; }
+}
+class Main {
+    static int rounds;
+    static void main() {
+        while (rounds < 40) {
+            Sys.print(Emit.phase() + ":" + Emit.tag());
+            Sys.sleep(5);
+            rounds = rounds + 1;
+        }
+    }
+}
+"""
+
+PARTITION_V2 = PARTITION_V1.replace('return "old";', 'return "new";').replace(
+    'return "O";', 'return "N";'
+)
+
+
+class TestExecutionPartition:
+    def test_changed_methods_switch_atomically(self):
+        fixture = UpdateFixture(PARTITION_V1).start()
+        holder = fixture.update_at(65, PARTITION_V2)
+        fixture.run(until_ms=2_000)
+        assert holder["result"].succeeded
+        lines = fixture.console
+        # Never a mixed line: both methods flip in the same instant.
+        assert set(lines) <= {"old:O", "new:N"}
+        switch = lines.index("new:N")
+        assert all(line == "old:O" for line in lines[:switch])
+        assert all(line == "new:N" for line in lines[switch:])
+
+
+# ---------------------------------------------------------------------------
+# objects of a deleted class survive as plain data
+
+DELETED_V1 = """
+class Legacy {
+    int payload;
+    Legacy(int p) { this.payload = p; }
+}
+class Keep {
+    static Object relic;
+}
+class Main {
+    static int rounds;
+    static void main() {
+        Keep.relic = new Legacy(99);
+        while (rounds < 40) {
+            Sys.sleep(10);
+            rounds = rounds + 1;
+            // churn to force collections after the update
+            for (int i = 0; i < 30; i = i + 1) { string junk = "j" + i; }
+        }
+        Sys.print("" + (Keep.relic != null));
+    }
+}
+"""
+
+# v2 deletes Legacy entirely; main no longer constructs it.
+DELETED_V2 = """
+class Keep {
+    static Object relic;
+}
+class Main {
+    static int rounds;
+    static void main() {
+        Keep.relic = null;
+        while (rounds < 40) {
+            Sys.sleep(10);
+            rounds = rounds + 1;
+            for (int i = 0; i < 30; i = i + 1) { string junk = "j" + i; }
+        }
+        Sys.print("" + (Keep.relic != null));
+    }
+}
+"""
+
+
+class TestDeletedClassObjects:
+    def test_instances_of_deleted_class_survive_collections(self):
+        # Main's bytecode changes (it constructed Legacy), so the update
+        # waits for it... which never happens — use a setup helper pattern
+        # instead: here we just verify the engine renames the class and the
+        # live instance keeps tracing correctly through many collections.
+        fixture = UpdateFixture(DELETED_V1, heap_cells=6_000).start()
+        vm = fixture.vm
+        fixture.run(until_ms=50)
+        legacy = vm.registry.get("Legacy")
+        prepared = fixture.prepare(DELETED_V2)
+        assert "Legacy" in prepared.spec.deleted_classes
+        # main is category-1 (its bytecode differs), so the update lands
+        # only at main's exit; the relic object must still survive every
+        # collection before then under its renamed metadata.
+        holder = {}
+        vm.events.schedule(
+            60, lambda: holder.update(result=fixture.engine.request_update(prepared))
+        )
+        fixture.run(until_ms=3_000)
+        assert holder["result"].succeeded
+        assert vm.registry.maybe_get("v10_Legacy") is legacy
+        assert legacy.obsolete
+        assert vm.collector.collections >= 1

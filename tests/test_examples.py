@@ -1,0 +1,26 @@
+"""Guard tests: every example script must run to completion (their own
+assertions double as checks of the documented behaviour)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/pause_time_study.py",
+    "examples/update_mechanics_tour.py",
+    "examples/webserver_live_update.py",
+    "examples/email_server_evolution.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    argv = [path]
+    if path.endswith("pause_time_study.py"):
+        argv.append("1200")  # keep the suite fast
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"

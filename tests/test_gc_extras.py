@@ -1,0 +1,110 @@
+"""Additional collector tests: native-root protection, old-copy
+reclamation after updates, intern-table maintenance, and update-map
+double-copy accounting."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.vm.natives import NativeContext
+from repro.vm.vm import VM
+
+from tests.dsu_helpers import UpdateFixture
+
+
+def boot(source, heap_cells=4096):
+    vm = VM(heap_cells=heap_cells)
+    vm.boot(compile_source(source))
+    return vm
+
+
+SIMPLE = "class Box { int v; } class Main { static void main() { } }"
+
+
+class TestRoots:
+    def test_native_roots_updated_across_collection(self):
+        vm = boot(SIMPLE)
+        box = vm.registry.get("Box")
+        address = vm.allocate_object(box)
+        vm.objects.write_field(address, "v", 77)
+        context = NativeContext(vm, thread=None)
+        root = context.protect(address)
+        vm.collect()
+        assert root[0] != address  # moved
+        assert vm.objects.read_field(root[0], "v") == 77
+        context.release_roots()
+        assert not vm.native_roots
+
+    def test_unprotected_address_becomes_stale(self):
+        vm = boot(SIMPLE)
+        box = vm.registry.get("Box")
+        address = vm.allocate_object(box)
+        vm.collect()
+        # The object was garbage (no roots): from-space address is dead.
+        assert not vm.heap.in_space(address, vm.heap.current_space)
+
+    def test_extra_roots_list(self):
+        vm = boot(SIMPLE)
+        box = vm.registry.get("Box")
+        root = [vm.allocate_object(box)]
+        vm.objects.write_field(root[0], "v", 5)
+        vm.extra_roots.append(root)
+        vm.collect()
+        assert vm.objects.read_field(root[0], "v") == 5
+        vm.extra_roots.remove(root)
+
+    def test_literal_interns_survive_and_rebind(self):
+        vm = boot(SIMPLE)
+        address = vm.intern_literal("keep-me")
+        vm.collect()
+        moved = vm.literal_interns["keep-me"]
+        assert moved != address
+        assert vm.objects.string_payload(moved) == "keep-me"
+        assert vm.intern_literal("keep-me") == moved
+
+
+UPDATE_V1 = """
+class Item { int a; int b; }
+class Pool { static Item[] items; }
+class Main {
+    static int rounds;
+    static void main() {
+        Pool.items = new Item[50];
+        for (int i = 0; i < 50; i = i + 1) { Pool.items[i] = new Item(); }
+        while (rounds < 60) { Sys.sleep(10); rounds = rounds + 1; }
+    }
+}
+"""
+UPDATE_V2 = UPDATE_V1.replace("class Item { int a; int b; }",
+                              "class Item { int a; int b; int c; }")
+
+
+class TestUpdateHeapAccounting:
+    def test_double_copy_counted_in_stats(self):
+        fixture = UpdateFixture(UPDATE_V1, heap_cells=1 << 15).start()
+        holder = fixture.update_at(55, UPDATE_V2)
+        fixture.run(until_ms=2_000)
+        assert holder["result"].succeeded
+        stats = fixture.vm.last_gc_stats
+        assert stats.objects_updated == 50
+        assert len(stats.update_log) == 0  # "the log is deleted" (§3.4)
+        # The pair count was 50 at collection time.
+        assert holder["result"].objects_transformed == 50
+
+    def test_old_copies_reclaimed_by_next_collection(self):
+        fixture = UpdateFixture(UPDATE_V1, heap_cells=1 << 15).start()
+        holder = fixture.update_at(55, UPDATE_V2)
+        fixture.run(until_ms=200)
+        assert holder["result"].succeeded
+        vm = fixture.vm
+        used_after_update = vm.heap.used_cells
+        vm.collect()  # "the next garbage collection will naturally reclaim"
+        # 50 old copies of 4 cells each disappear (plus other transients).
+        assert vm.heap.used_cells <= used_after_update - 50 * 4
+
+    def test_update_survives_when_heap_tight_but_sufficient(self):
+        # Heap just big enough for the double copy: population 50*4 + dup
+        # 50*(4+5) cells plus program overhead.
+        fixture = UpdateFixture(UPDATE_V1, heap_cells=6000).start()
+        holder = fixture.update_at(55, UPDATE_V2)
+        fixture.run(until_ms=2_000)
+        assert holder["result"].succeeded, holder["result"].reason

@@ -1,0 +1,125 @@
+"""Tests for the experiment harnesses themselves (microbench, jettyperf,
+tables), so the benchmark suite rests on verified plumbing."""
+
+import pytest
+
+from repro.apps.registry import APPS, EXPECTED_OUTCOMES, expected_outcome, update_pairs
+from repro.harness.jettyperf import run_one
+from repro.harness.microbench import (
+    OBJECT_CELLS,
+    heap_cells_for,
+    populate,
+    run_microbench,
+)
+from repro.harness.tables import (
+    render_experience_table,
+    render_figure6,
+    render_table1,
+    render_update_table,
+    run_single_update,
+    update_summary_rows,
+)
+
+
+class TestMicrobench:
+    def test_populate_counts_and_anchoring(self):
+        from repro.compiler.compile import compile_source
+        from repro.harness.microbench import MICRO_V1
+        from repro.vm.vm import VM
+
+        vm = VM(heap_cells=heap_cells_for(500))
+        vm.boot(compile_source(MICRO_V1, version="m1"))
+        num_change = populate(vm, 500, 0.3)
+        assert num_change == 150
+        holder = vm.registry.get("Holder")
+        array = vm.jtoc.read(holder.static_slots["items"])
+        assert vm.objects.array_length(array) == 500
+        change_count = 0
+        for index in range(500):
+            address = vm.objects.array_get(array, index)
+            if vm.objects.class_of(address).name == "Change":
+                change_count += 1
+        assert change_count == 150
+        # Population survives a collection (anchored by the static).
+        vm.collect()
+        array = vm.jtoc.read(holder.static_slots["items"])
+        assert vm.objects.array_length(array) == 500
+
+    def test_run_transforms_expected_fraction(self):
+        result = run_microbench(400, 0.25)
+        assert result.objects_transformed == 100
+        assert result.total_pause_ms > 0
+        assert result.gc_ms > 0
+
+    def test_zero_fraction_has_no_transform_time(self):
+        result = run_microbench(400, 0.0)
+        assert result.objects_transformed == 0
+        # The phase still pays the (empty) class-transformer dispatch, but
+        # essentially nothing else.
+        assert result.transform_ms < 0.01
+
+    def test_heap_sizing_fits_worst_case(self):
+        # 100% updated must fit: every object double-copied.
+        result = run_microbench(800, 1.0)
+        assert result.objects_transformed == 800
+
+    def test_monotone_in_fraction(self):
+        totals = [run_microbench(600, f).total_pause_ms for f in (0.0, 0.5, 1.0)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_table_rendering(self):
+        results = [run_microbench(300, f) for f in (0.0, 1.0)]
+        text = render_table1(results)
+        assert "Garbage collection time" in text
+        assert "Total DSU pause time" in text
+        figure = render_figure6(results, 300)
+        assert "Figure 6" in figure
+
+
+class TestJettyPerf:
+    @pytest.mark.parametrize("configuration", ["stock", "jvolve", "updated"])
+    def test_each_configuration_completes(self, configuration):
+        run = run_one(
+            configuration, seed=3,
+            connections_per_second=20, duration_ms=400, warmup_ms=250,
+        )
+        assert run.failed == 0
+        assert run.completed > 0
+        assert run.throughput_mb_s > 0
+
+
+class TestRegistry:
+    def test_apps_expose_version_chains(self):
+        assert list(APPS) == ["jetty", "javaemail", "crossftp"]
+        assert len(update_pairs("jetty")) == 10
+        assert len(update_pairs("javaemail")) == 9
+        assert len(update_pairs("crossftp")) == 3
+
+    def test_expected_outcomes_cover_all_updates(self):
+        assert len(EXPECTED_OUTCOMES) == 22
+        aborts = [o for o in EXPECTED_OUTCOMES if o.paper_outcome == "aborted"]
+        assert {(o.app, o.to_version) for o in aborts} == {
+            ("jetty", "5.1.3"), ("javaemail", "1.3"),
+        }
+        assert expected_outcome("javaemail", "1.3.1", "1.3.2").paper_osr
+        assert expected_outcome("crossftp", "1.07", "1.08").idle_only
+        assert expected_outcome("jetty", "5.1.0", "5.1.1").paper_outcome == "applied"
+
+    def test_update_summary_rows_shape(self):
+        rows = update_summary_rows("crossftp")
+        assert [r["version"] for r in rows] == ["1.06", "1.07", "1.08"]
+        assert all("classes_changed" in r for r in rows)
+        text = render_update_table("crossftp")
+        assert "1.08" in text
+
+
+class TestExperienceHarness:
+    def test_single_update_outcome_fields(self):
+        outcome = run_single_update("jetty", "5.1.8", "5.1.9", timeout_ms=800)
+        assert outcome.result.succeeded
+        assert outcome.mechanism in ("immediate", "osr(1)")
+        assert outcome.body_only_supported
+        assert "paper: applied" in outcome.notes
+        assert outcome.sessions_failed == 0
+        text = render_experience_table([outcome])
+        assert "5.1.8->5.1.9" in text

@@ -1,0 +1,152 @@
+"""Unit tests for the heap and the object model."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.vm.heap import HEAP_BASE, Heap, NULL, OutOfMemoryError
+from repro.vm.objectmodel import VMTrap
+from repro.vm.vm import VM
+
+
+class TestHeap:
+    def test_spaces_have_equal_capacity(self):
+        heap = Heap(1000)
+        (s0, e0), (s1, e1) = heap._space_bounds
+        assert e0 - s0 == e1 - s1
+
+    def test_allocation_starts_above_null(self):
+        heap = Heap(1000)
+        address = heap.allocate_raw(4)
+        assert address >= HEAP_BASE
+
+    def test_bump_allocation_is_contiguous(self):
+        heap = Heap(1000)
+        first = heap.allocate_raw(4)
+        second = heap.allocate_raw(6)
+        assert second == first + 4
+
+    def test_allocation_zeroes_cells(self):
+        heap = Heap(1000)
+        address = heap.allocate_raw(4)
+        heap.write(address, 99)
+        heap.current_space = heap.current_space  # no flip; reuse raw region
+        assert heap.cells[address + 1 : address + 4] == [0, 0, 0]
+
+    def test_out_of_memory_raised(self):
+        heap = Heap(200)
+        with pytest.raises(OutOfMemoryError):
+            heap.allocate_raw(10_000)
+
+    def test_flip_switches_space(self):
+        heap = Heap(1000)
+        start = heap.begin_flip()
+        heap.finish_flip(start + 10)
+        assert heap.current_space == 1
+        assert heap.bump == start + 10
+
+    def test_too_small_heap_rejected(self):
+        with pytest.raises(ValueError):
+            Heap(8)
+
+
+PROGRAM = """
+class Animal { int legs; }
+class Dog extends Animal { string name; }
+class Main { static void main() { } }
+"""
+
+
+@pytest.fixture
+def vm():
+    machine = VM(heap_cells=4096)
+    machine.boot(compile_source(PROGRAM))
+    return machine
+
+
+class TestObjectModel:
+    def test_object_layout_and_field_access(self, vm):
+        dog = vm.registry.get("Dog")
+        address = vm.allocate_object(dog)
+        assert vm.objects.class_of(address) is dog
+        vm.objects.write_field(address, "legs", 4)
+        assert vm.objects.read_field(address, "legs") == 4
+        # inherited field occupies the first slot
+        assert dog.field_slot("legs").slot == 0
+        assert dog.field_slot("name").slot == 1
+
+    def test_array_operations(self, vm):
+        array_class = vm.objects.array_class("I")
+        address = vm.allocate_array(array_class, 3)
+        assert vm.objects.array_length(address) == 3
+        vm.objects.array_set(address, 2, 42)
+        assert vm.objects.array_get(address, 2) == 42
+
+    def test_array_bounds_trap(self, vm):
+        array_class = vm.objects.array_class("I")
+        address = vm.allocate_array(array_class, 3)
+        with pytest.raises(VMTrap):
+            vm.objects.array_get(address, 3)
+        with pytest.raises(VMTrap):
+            vm.objects.array_set(address, -1, 0)
+
+    def test_negative_array_size_trap(self, vm):
+        array_class = vm.objects.array_class("I")
+        with pytest.raises(VMTrap):
+            vm.objects.alloc_array(array_class, -1)
+
+    def test_string_payload(self, vm):
+        address = vm.allocate_string("hello")
+        assert vm.objects.string_payload(address) == "hello"
+
+    def test_null_dereference_traps(self, vm):
+        with pytest.raises(VMTrap):
+            vm.objects.read_cell(NULL, 2)
+        with pytest.raises(VMTrap):
+            vm.objects.array_length(NULL)
+        with pytest.raises(VMTrap):
+            vm.objects.string_payload(NULL)
+
+    def test_is_instance_hierarchy(self, vm):
+        dog = vm.allocate_object(vm.registry.get("Dog"))
+        assert vm.objects.is_instance(dog, "LDog;")
+        assert vm.objects.is_instance(dog, "LAnimal;")
+        assert vm.objects.is_instance(dog, "LObject;")
+        assert not vm.objects.is_instance(dog, "LMain;")
+
+    def test_is_instance_strings_and_arrays(self, vm):
+        text = vm.allocate_string("x")
+        assert vm.objects.is_instance(text, "S")
+        assert vm.objects.is_instance(text, "LObject;")
+        array = vm.allocate_array(vm.objects.array_class("I"), 1)
+        assert vm.objects.is_instance(array, "[I")
+        assert not vm.objects.is_instance(array, "[Z")
+        assert vm.objects.is_instance(array, "LObject;")
+
+    def test_null_is_instance_of_nothing_but_casts_to_anything(self, vm):
+        assert not vm.objects.is_instance(NULL, "LDog;")
+        vm.objects.checkcast(NULL, "LDog;")  # no trap
+
+    def test_bad_cast_traps(self, vm):
+        animal = vm.allocate_object(vm.registry.get("Animal"))
+        with pytest.raises(VMTrap):
+            vm.objects.checkcast(animal, "LDog;")
+
+    def test_object_size_cells(self, vm):
+        dog = vm.allocate_object(vm.registry.get("Dog"))
+        assert vm.objects.object_size_cells(dog) == 2 + 2
+        array = vm.allocate_array(vm.objects.array_class("I"), 5)
+        assert vm.objects.object_size_cells(array) == 3 + 5
+        text = vm.allocate_string("abc")
+        assert vm.objects.object_size_cells(text) == 3
+
+    def test_string_payloads_are_deduplicated(self, vm):
+        first = vm.allocate_string("shared-payload")
+        second = vm.allocate_string("shared-payload")
+        assert first != second  # distinct objects
+        payload_cell = 2
+        assert vm.heap.read(first + payload_cell) == vm.heap.read(second + payload_cell)
+
+    def test_literal_interning_returns_same_object(self, vm):
+        first = vm.intern_literal("lit")
+        second = vm.intern_literal("lit")
+        assert first == second

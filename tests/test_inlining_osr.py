@@ -1,0 +1,187 @@
+"""Unit tests for the opt-tier inliner and on-stack replacement."""
+
+import pytest
+
+from repro.bytecode.instructions import Instr
+from repro.compiler.compile import compile_prelude, compile_source
+from repro.vm.inlining import INLINE_MAX_INSTRUCTIONS, inline_method
+from repro.vm.osr import OSRError, can_osr, osr_replace
+from repro.vm.vm import VM
+
+from tests.conftest import run_main
+
+
+def compiled(source):
+    classfiles = dict(compile_prelude())
+    classfiles.update(compile_source(source))
+    return classfiles
+
+
+class TestInliner:
+    def test_small_static_callee_inlined(self):
+        classfiles = compiled(
+            """
+            class A {
+                static int twice(int x) { return x + x; }
+                static int go(int x) { return A.twice(x) + 1; }
+            }
+            """
+        )
+        method = classfiles["A"].get_method("go", "(I)I")
+        result = inline_method(classfiles, "A", method)
+        assert ("A", "twice", "(I)I") in result.inlined
+        ops = [i.op for i in result.instructions]
+        assert "INVOKESTATIC" not in ops
+
+    def test_large_callee_not_inlined(self):
+        body = " y = y + x;" * (INLINE_MAX_INSTRUCTIONS + 4)
+        classfiles = compiled(
+            """
+            class A {
+                static int big(int x) { int y = 0; %s return y; }
+                static int go(int x) { return A.big(x); }
+            }
+            """ % body
+        )
+        method = classfiles["A"].get_method("go", "(I)I")
+        result = inline_method(classfiles, "A", method)
+        assert not result.inlined
+
+    def test_recursive_callee_not_inlined_into_itself(self):
+        classfiles = compiled(
+            """
+            class A {
+                static int f(int x) { if (x < 1) { return 0; } return A.f(x - 1); }
+            }
+            """
+        )
+        method = classfiles["A"].get_method("f", "(I)I")
+        result = inline_method(classfiles, "A", method)
+        assert ("A", "f", "(I)I") not in result.inlined
+
+    def test_native_callee_not_inlined(self):
+        classfiles = compiled(
+            """
+            class A { static int go() { return Sys.time(); } }
+            """
+        )
+        method = classfiles["A"].get_method("go", "()I")
+        result = inline_method(classfiles, "A", method)
+        assert not result.inlined
+
+    def test_constructors_not_inlined(self):
+        classfiles = compiled(
+            """
+            class Box { int v; Box(int v0) { this.v = v0; } }
+            class A { static Box go() { return new Box(1); } }
+            """
+        )
+        method = classfiles["A"].get_method("go", "()LBox;")
+        result = inline_method(classfiles, "A", method)
+        assert not result.inlined
+
+    def test_max_locals_grow_by_callee_frame(self):
+        classfiles = compiled(
+            """
+            class A {
+                static int helper(int x) { int t = x * 2; return t; }
+                static int go(int x) { return A.helper(x); }
+            }
+            """
+        )
+        method = classfiles["A"].get_method("go", "(I)I")
+        helper = classfiles["A"].get_method("helper", "(I)I")
+        result = inline_method(classfiles, "A", method)
+        assert result.max_locals == method.max_locals + helper.max_locals
+
+    def test_inlined_code_computes_same_result(self):
+        # End-to-end: a hot method with nested inlinable helpers produces
+        # the same results at both tiers.
+        vm = run_main(
+            """
+            class M {
+                static int inc(int x) { return x + 1; }
+                static int twice(int x) { return M.inc(x) + M.inc(x); }
+            }
+            class Main {
+                static void main() {
+                    int total = 0;
+                    for (int i = 0; i < 300; i = i + 1) { total = total + M.twice(i); }
+                    Sys.print("" + total);
+                }
+            }
+            """
+        )
+        # sum of 2*(i+1) for i in 0..299 = 2*(300*301/2) = 90300
+        assert vm.console == ["90300"]
+        entry = vm.methods.lookup("M", "twice", "(I)I")
+        assert entry.opt_code is not None
+        assert ("M", "inc", "(I)I") in entry.opt_code.inlined
+
+
+OSR_PROGRAM = """
+class Config { static int level = 3; }
+class W {
+    static int work(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { acc = acc + Config.level; }
+        return acc;
+    }
+}
+class Main { static void main() { Sys.print("" + W.work(5)); } }
+"""
+
+
+class TestOSR:
+    def _vm_with_frame(self):
+        from repro.vm.frames import Frame, VMThread
+
+        vm = VM()
+        vm.boot(compile_source(OSR_PROGRAM))
+        entry = vm.methods.lookup("W", "work", "(I)I")
+        code = vm.jit.compile_base(entry)
+        frame = Frame(code, [5], 0)
+        thread = VMThread()
+        thread.frames.append(frame)
+        vm.threads.append(thread)
+        return vm, entry, frame, thread
+
+    def test_base_frame_is_osr_capable(self):
+        vm, entry, frame, _ = self._vm_with_frame()
+        assert can_osr(frame)
+
+    def test_osr_swaps_code_preserving_state(self):
+        vm, entry, frame, thread = self._vm_with_frame()
+        # advance a few instructions
+        vm.interpreter.run_thread(thread, 6)
+        pc = frame.pc
+        locals_before = list(frame.locals)
+        stack_before = list(frame.stack)
+        old_code = frame.code
+        osr_replace(vm, frame)
+        assert frame.code is not old_code
+        assert frame.pc == pc
+        assert frame.locals == locals_before
+        assert frame.stack == stack_before
+        # thread completes correctly on the new code
+        vm.run(max_instructions=10_000)
+        assert thread.result == 15  # 5 iterations x Config.level (3)
+
+    def test_opt_frames_refuse_osr(self):
+        from repro.vm.frames import Frame
+
+        vm, entry, _, _ = self._vm_with_frame()
+        opt = vm.jit.compile_opt(entry)
+        frame = Frame(opt, [5], 0)
+        assert not can_osr(frame)
+        with pytest.raises(OSRError):
+            osr_replace(vm, frame)
+
+    def test_stale_bytecode_refuses_osr(self):
+        vm, entry, frame, _ = self._vm_with_frame()
+        from repro.bytecode.classfile import MethodInfo
+
+        entry.replace_bytecode(entry.info)  # bump version
+        assert not can_osr(frame)
+        with pytest.raises(OSRError):
+            osr_replace(vm, frame)

@@ -1,0 +1,196 @@
+"""Unit tests for the interpreter and the cooperative scheduler."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.vm.vm import VM
+
+from tests.conftest import make_vm, run_main
+
+
+class TestInterpreterSemantics:
+    def test_integer_division_truncates_toward_zero(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    Sys.print("" + (7 / 2) + "," + ((0 - 7) / 2));
+                    Sys.print("" + (7 % 2) + "," + ((0 - 7) % 2));
+                }
+            }
+            """
+        )
+        assert vm.console == ["3,-3", "1,-1"]
+
+    def test_short_circuit_evaluation_skips_side_effects(self):
+        vm = run_main(
+            """
+            class Main {
+                static int calls;
+                static bool bump() { calls = calls + 1; return true; }
+                static void main() {
+                    bool a = false && bump();
+                    bool b = true || bump();
+                    Sys.print("" + calls);
+                }
+            }
+            """
+        )
+        assert vm.console == ["0"]
+
+    def test_string_concat_coerces_ints_and_bools(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() { Sys.print("v=" + 3 + ":" + true); }
+            }
+            """
+        )
+        assert vm.console == ["v=3:true"]
+
+    def test_null_string_concat_renders_null(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() { string s = null; Sys.print("x" + s); }
+            }
+            """
+        )
+        assert vm.console == ["xnull"]
+
+    def test_deep_recursion_overflows_cleanly(self):
+        vm = run_main(
+            """
+            class Main {
+                static int down(int n) { return down(n + 1); }
+                static void main() { down(0); }
+            }
+            """
+        )
+        assert any("stack overflow" in line for line in vm.trap_log)
+
+    def test_obsolete_method_call_traps(self):
+        # Directly mark an entry obsolete and call it: the guard fires.
+        vm = make_vm(
+            """
+            class T { static void gone() { } }
+            class Main { static void main() { T.gone(); } }
+            """
+        )
+        vm.methods.lookup("T", "gone", "()V").obsolete = True
+        vm.start_main("Main")
+        vm.run(max_instructions=10_000)
+        assert any("obsolete" in line for line in vm.trap_log)
+
+    def test_thread_result_captured(self):
+        vm = make_vm("class Main { static int main2() { return 41; } }")
+        entry = vm.methods.lookup("Main", "main2", "()I")
+        result = vm.run_static_method_synchronously(entry)
+        assert result == 41
+
+
+class TestScheduler:
+    def test_quantum_interleaves_threads_fairly(self):
+        vm = run_main(
+            """
+            class Busy {
+                int id;
+                Busy(int id0) { this.id = id0; }
+                void run() {
+                    for (int i = 0; i < 5; i = i + 1) {
+                        Sys.print(id + "." + i);
+                    }
+                }
+            }
+            class Main {
+                static void main() {
+                    Sys.spawn(new Busy(1));
+                    Sys.spawn(new Busy(2));
+                }
+            }
+            """,
+            quantum=30,  # small quantum forces interleaving
+        )
+        order = vm.console
+        assert sorted(order) == sorted(
+            [f"{t}.{i}" for t in (1, 2) for i in range(5)]
+        )
+        # With a small quantum, output from the two threads interleaves.
+        first_thread = order[0].split(".")[0]
+        assert any(not line.startswith(first_thread) for line in order[:6])
+
+    def test_sys_yield_parks_thread(self):
+        vm = run_main(
+            """
+            class Poller {
+                void run() {
+                    for (int i = 0; i < 3; i = i + 1) { Sys.print("p" + i); }
+                }
+            }
+            class Main {
+                static void main() {
+                    Sys.spawn(new Poller());
+                    Sys.yield();
+                    Sys.print("after-yield");
+                }
+            }
+            """,
+            quantum=10_000,  # big quantum: only the explicit yield switches
+        )
+        # The poller got to run before main's post-yield print.
+        assert vm.console.index("p0") < vm.console.index("after-yield")
+
+    def test_run_until_ms_stops_at_deadline(self):
+        vm = make_vm(
+            """
+            class Main {
+                static void main() { while (true) { Sys.sleep(10); } }
+            }
+            """
+        )
+        vm.start_main("Main")
+        vm.run(until_ms=120)
+        assert 120 <= vm.clock.now_ms < 140
+        assert vm.threads  # still alive, just paused
+
+    def test_idle_vm_returns_instead_of_spinning(self):
+        vm = make_vm("class Main { static void main() { } }")
+        vm.start_main("Main")
+        vm.run()  # returns promptly once everything is dead
+        assert not vm.threads
+
+    def test_blocked_thread_wakes_on_condition(self):
+        vm = make_vm(
+            """
+            class Echo {
+                void run() {
+                    int lfd = Net.listen(9);
+                    int fd = Net.accept(lfd);
+                    Net.write(fd, Net.readLine(fd) + "!\\n");
+                }
+            }
+            class Main { static void main() { Sys.spawn(new Echo()); } }
+            """
+        )
+        vm.start_main("Main")
+        vm.run(until_ms=20)  # server parks in accept
+        endpoint = vm.network.client_connect(9)
+        endpoint.send("hi\n")
+        vm.run(until_ms=60)
+        assert endpoint.receive_line() == "hi!"
+
+    def test_trapped_thread_does_not_stop_others(self):
+        vm = run_main(
+            """
+            class Crasher { void run() { int z = 0; int x = 1 / z; } }
+            class Main {
+                static void main() {
+                    Sys.spawn(new Crasher());
+                    Sys.sleep(20);
+                    Sys.print("survived");
+                }
+            }
+            """
+        )
+        assert vm.console == ["survived"]
+        assert any("division" in line for line in vm.trap_log)

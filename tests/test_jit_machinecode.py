@@ -1,0 +1,176 @@
+"""Unit tests for the JIT resolution layer and method-registry semantics —
+the machinery whose baked offsets make category-2 methods real."""
+
+import pytest
+
+from repro.bytecode.classfile import MethodInfo
+from repro.compiler.compile import compile_source
+from repro.vm.gc import StackMapMismatch
+from repro.vm.machinecode import BASE_TIER, OPT_TIER
+from repro.vm.vm import VM
+
+SOURCE = """
+class Point {
+    int x;
+    int y;
+    static int made;
+    Point(int x0) { this.x = x0; Point.made = Point.made + 1; }
+    int getX() { return x; }
+    int getY() { return y; }
+}
+class Shape {
+    int area() { return 0; }
+}
+class Square extends Shape {
+    int side;
+    int area() { return side * side; }
+}
+class Calls {
+    static int go(Point p) { return p.getX() + Point.made; }
+}
+class Main { static void main() { } }
+"""
+
+
+@pytest.fixture
+def vm():
+    machine = VM()
+    machine.boot(compile_source(SOURCE, version="t"))
+    return machine
+
+
+class TestResolution:
+    def test_getfield_bakes_cell_offset(self, vm):
+        entry = vm.methods.lookup("Point", "getX", "()I")
+        code = vm.jit.compile_base(entry)
+        getfields = [i for i in code.instructions if i.op == "GETFIELD"]
+        point = vm.registry.get("Point")
+        assert getfields[0].a == point.field_slot("x").cell_offset
+
+    def test_getstatic_bakes_jtoc_index(self, vm):
+        entry = vm.methods.lookup("Calls", "go", "(LPoint;)I")
+        code = vm.jit.compile_base(entry)
+        getstatics = [i for i in code.instructions if i.op == "GETSTATIC"]
+        point = vm.registry.get("Point")
+        assert getstatics[0].a == point.static_slots["made"]
+
+    def test_invokevirtual_bakes_tib_slot(self, vm):
+        entry = vm.methods.lookup("Calls", "go", "(LPoint;)I")
+        code = vm.jit.compile_base(entry)
+        virtuals = [i for i in code.instructions if i.op == "INVOKEVIRTUAL"]
+        point = vm.registry.get("Point")
+        assert virtuals[0].a == point.tib.slot_of("getX", "()I")
+        assert virtuals[0].b == 0  # argc
+
+    def test_referenced_classes_recorded(self, vm):
+        entry = vm.methods.lookup("Calls", "go", "(LPoint;)I")
+        code = vm.jit.compile_base(entry)
+        assert "Point" in code.referenced_classes
+
+    def test_resolution_is_one_to_one(self, vm):
+        entry = vm.methods.lookup("Calls", "go", "(LPoint;)I")
+        code = vm.jit.compile_base(entry)
+        assert len(code.instructions) == len(entry.info.instructions)
+        assert code.tier == BASE_TIER
+
+
+class TestTIB:
+    def test_override_shares_slot(self, vm):
+        shape = vm.registry.get("Shape")
+        square = vm.registry.get("Square")
+        slot = shape.tib.slot_of("area", "()I")
+        assert square.tib.slot_of("area", "()I") == slot
+        assert square.tib.methods[slot].owner is square
+        assert shape.tib.methods[slot].owner is shape
+
+    def test_invalidate_all_clears_code(self, vm):
+        shape = vm.registry.get("Shape")
+        entry = shape.tib.lookup("area", "()I")
+        vm.jit.ensure_compiled(entry)
+        slot = shape.tib.slot_of("area", "()I")
+        shape.tib.code[slot] = entry.active_code()
+        shape.tib.invalidate_all()
+        assert shape.tib.code[slot] is None
+
+    def test_lookup_missing_returns_none(self, vm):
+        shape = vm.registry.get("Shape")
+        assert shape.tib.lookup("nope", "()V") is None
+
+
+class TestMethodEntryLifecycle:
+    def test_replace_bytecode_resets_everything(self, vm):
+        entry = vm.methods.lookup("Point", "getX", "()I")
+        vm.jit.compile_base(entry)
+        entry.invocations = 99
+        new_info = MethodInfo(
+            "getX", "()I", False, False, "public",
+            entry.info.max_locals, list(entry.info.instructions),
+        )
+        entry.replace_bytecode(new_info)
+        assert entry.base_code is None and entry.opt_code is None
+        assert entry.invocations == 0
+        assert entry.bytecode_version == 1
+
+    def test_active_code_prefers_opt(self, vm):
+        entry = vm.methods.lookup("Point", "getX", "()I")
+        base = vm.jit.compile_base(entry)
+        assert entry.active_code() is base
+        opt = vm.jit.compile_opt(entry)
+        assert entry.active_code() is opt
+        assert opt.tier == OPT_TIER
+
+    def test_rekey_follows_owner_rename(self, vm):
+        entry = vm.methods.lookup("Point", "getX", "()I")
+        point = vm.registry.get("Point")
+        vm.registry.rename(point, "old_Point")
+        vm.methods.rekey(entry)
+        assert vm.methods.lookup("old_Point", "getX", "()I") is entry
+        assert vm.methods.lookup("Point", "getX", "()I") is None
+
+    def test_registry_lookup_by_id(self, vm):
+        entry = vm.methods.lookup("Point", "getX", "()I")
+        assert vm.methods.by_id(entry.id) is entry
+
+
+class TestDispatchCacheRefresh:
+    def test_tib_cache_follows_tier_promotion(self, vm):
+        # Dispatch through the TIB caches base code; after promotion the
+        # cache is refreshed on the next call (the interpreter's identity
+        # check against active_code).
+        source = """
+        class Hot { int f() { return 1; } }
+        class Main {
+            static void main() {
+                Hot h = new Hot();
+                int acc = 0;
+                for (int i = 0; i < 120; i = i + 1) { acc = acc + h.f(); }
+                Sys.print("" + acc);
+            }
+        }
+        """
+        machine = VM()
+        machine.boot(compile_source(source))
+        machine.start_main("Main")
+        machine.run(max_instructions=1_000_000)
+        assert machine.console == ["120"]
+        hot = machine.registry.get("Hot")
+        entry = hot.tib.lookup("f", "()I")
+        assert entry.opt_code is not None
+        slot = hot.tib.slot_of("f", "()I")
+        assert hot.tib.code[slot] is entry.opt_code
+
+
+class TestStackMapSafetyNet:
+    def test_corrupted_frame_detected_by_gc(self, vm):
+        from repro.vm.frames import Frame, VMThread
+
+        entry = vm.methods.lookup("Calls", "go", "(LPoint;)I")
+        code = vm.jit.ensure_compiled(entry)
+        frame = Frame(code, [0], 0)
+        frame.stack.append(123)  # junk the verifier never promised
+        thread = VMThread()
+        thread.frames.append(frame)
+        vm.threads.append(thread)
+        with pytest.raises(StackMapMismatch, match="depth"):
+            vm.collect()
+        vm.threads.remove(thread)

@@ -1,0 +1,159 @@
+"""Coverage for the native method surface: string builtins, conversion
+helpers, the simulated filesystem and deterministic randomness."""
+
+import pytest
+
+from tests.conftest import make_vm, run_main
+
+
+def eval_exprs(*exprs, prelude=""):
+    """Run a program printing each expression on its own line."""
+    prints = "\n".join(f'Sys.print("" + ({e}));' for e in exprs)
+    vm = run_main(
+        "%s class Main { static void main() { %s } }" % (prelude, prints)
+    )
+    assert not vm.trap_log, vm.trap_log
+    return vm.console
+
+
+class TestStringNatives:
+    def test_length_and_charat(self):
+        assert eval_exprs('"hello".length()', '"hello".charAt(1)') == ["5", "e"]
+
+    def test_substring_variants(self):
+        assert eval_exprs(
+            '"abcdef".substring(2, 4)', '"abcdef".substring(3)'
+        ) == ["cd", "def"]
+
+    def test_index_of_family(self):
+        assert eval_exprs(
+            '"banana".indexOf("na")',
+            '"banana".lastIndexOf("na")',
+            '"banana".indexOf("xyz")',
+        ) == ["2", "4", "-1"]
+
+    def test_predicates(self):
+        assert eval_exprs(
+            '"banana".startsWith("ban")',
+            '"banana".endsWith("ana")',
+            '"banana".contains("nan")',
+            '"banana".contains("xyz")',
+        ) == ["true", "true", "true", "false"]
+
+    def test_case_and_trim(self):
+        assert eval_exprs(
+            '"  MiXeD  ".trim()',
+            '"MiXeD".toLowerCase()',
+            '"MiXeD".toUpperCase()',
+        ) == ["MiXeD", "mixed", "MIXED"]
+
+    def test_equals_family(self):
+        assert eval_exprs(
+            '"abc".equals("abc")',
+            '"abc".equals("ABC")',
+            '"abc".equalsIgnoreCase("ABC")',
+        ) == ["true", "false", "true"]
+
+    def test_replace_and_compare(self):
+        assert eval_exprs(
+            '"a-b-c".replace("-", "+")',
+            '"apple".compareTo("banana")',
+            '"same".compareTo("same")',
+        ) == ["a+b+c", "-1", "0"]
+
+    def test_split_edge_cases(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    string[] parts = "a,b,,c".split(",");
+                    Sys.print("" + parts.length);
+                    Sys.print("" + (parts[2] == ""));
+                    string[] limited = "a,b,c,d".split(",", 2);
+                    Sys.print(limited[1]);
+                    string[] none = "plain".split(",");
+                    Sys.print("" + none.length + ":" + none[0]);
+                }
+            }
+            """
+        )
+        assert vm.console == ["4", "true", "b,c,d", "1:plain"]
+
+    def test_hash_code_matches_java(self):
+        # Java: "hello".hashCode() == 99162322
+        assert eval_exprs('"hello".hashCode()') == ["99162322"]
+
+
+class TestStrHelpers:
+    def test_conversions(self):
+        assert eval_exprs(
+            'Str.fromInt(0 - 42)', 'Str.toInt("17")', 'Str.toInt(" -3 ")',
+            'Str.fromBool(true)', 'Str.repeat("ab", 3)',
+        ) == ["-42", "17", "-3", "true", "ababab"]
+
+    def test_malformed_int_traps(self):
+        vm = run_main(
+            'class Main { static void main() { int x = Str.toInt("nope"); } }'
+        )
+        assert any("malformed" in line for line in vm.trap_log)
+
+
+class TestFiles:
+    def test_write_read_exists_remove(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    Sys.print("" + Files.exists("/tmp/x"));
+                    Files.write("/tmp/x", "content");
+                    Sys.print("" + Files.exists("/tmp/x"));
+                    Sys.print(Files.read("/tmp/x"));
+                    Files.remove("/tmp/x");
+                    Sys.print("" + Files.exists("/tmp/x"));
+                    Sys.print("" + (Files.read("/tmp/x") == null));
+                }
+            }
+            """
+        )
+        assert vm.console == ["false", "true", "content", "false", "true"]
+
+    def test_filesystem_shared_with_host(self):
+        vm = make_vm(
+            'class Main { static void main() { Sys.print(Files.read("/host")); } }'
+        )
+        vm.filesystem["/host"] = "from-python"
+        vm.start_main("Main")
+        vm.run(max_instructions=100_000)
+        assert vm.console == ["from-python"]
+
+
+class TestRandom:
+    def test_rand_is_deterministic_per_seed(self):
+        program = """
+        class Main {
+            static void main() {
+                for (int i = 0; i < 5; i = i + 1) { Sys.print("" + Sys.rand(100)); }
+            }
+        }
+        """
+        first = run_main(program, seed=7).console
+        second = run_main(program, seed=7).console
+        third = run_main(program, seed=8).console
+        assert first == second
+        assert first != third
+        assert all(0 <= int(v) < 100 for v in first)
+
+    def test_time_monotonic(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    int a = Sys.time();
+                    Sys.sleep(7);
+                    int b = Sys.time();
+                    Sys.print("" + (b >= a + 7));
+                }
+            }
+            """
+        )
+        assert vm.console == ["true"]

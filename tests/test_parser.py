@@ -1,0 +1,219 @@
+"""Unit tests for the jmini parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+from repro.lang.types import INT, STRING, array_type
+
+
+def parse_single_class(body):
+    program = parse("class C { %s }" % body)
+    assert len(program.classes) == 1
+    return program.classes[0]
+
+
+def parse_method_body(statements):
+    decl = parse_single_class("void m() { %s }" % statements)
+    return decl.methods[0].body.statements
+
+
+class TestClassStructure:
+    def test_empty_class(self):
+        decl = parse_single_class("")
+        assert decl.name == "C"
+        assert decl.superclass == "Object"
+
+    def test_extends(self):
+        program = parse("class A {} class B extends A {}")
+        assert program.classes[1].superclass == "A"
+
+    def test_fields(self):
+        decl = parse_single_class("int x; static string name; private final bool ok;")
+        assert [f.name for f in decl.fields] == ["x", "name", "ok"]
+        assert decl.fields[1].is_static
+        assert decl.fields[2].is_final
+        assert decl.fields[2].access == "private"
+
+    def test_multi_declarator_field(self):
+        decl = parse_single_class("int a, b, c;")
+        assert [f.name for f in decl.fields] == ["a", "b", "c"]
+
+    def test_field_initializer(self):
+        decl = parse_single_class("int x = 42;")
+        assert isinstance(decl.fields[0].initializer, ast.IntLiteral)
+
+    def test_array_types(self):
+        decl = parse_single_class("int[] xs; string[][] grid;")
+        assert decl.fields[0].declared_type is array_type(INT)
+        assert decl.fields[1].declared_type is array_type(array_type(STRING))
+
+    def test_method(self):
+        decl = parse_single_class("int add(int a, int b) { return a + b; }")
+        method = decl.methods[0]
+        assert method.name == "add"
+        assert [p.name for p in method.params] == ["a", "b"]
+        assert method.return_type is INT
+
+    def test_native_method(self):
+        decl = parse_single_class("static native void log(string s);")
+        method = decl.methods[0]
+        assert method.is_native
+        assert method.body is None
+
+    def test_constructor(self):
+        decl = parse_single_class("C(int x) { }")
+        assert len(decl.constructors) == 1
+        assert decl.constructors[0].super_args is None
+
+    def test_constructor_with_super(self):
+        program = parse("class A { A(int x) {} } class B extends A { B() { super(1); } }")
+        ctor = program.classes[1].constructors[0]
+        assert ctor.super_args is not None
+        assert len(ctor.super_args) == 1
+
+
+class TestStatements:
+    def test_var_decl(self):
+        (stmt,) = parse_method_body("int x = 1;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_class_typed_var_decl(self):
+        (stmt,) = parse_method_body("Foo f = null;")
+        assert isinstance(stmt, ast.VarDecl)
+
+    def test_assignment(self):
+        (stmt,) = parse_method_body("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.NameRef)
+
+    def test_field_assignment(self):
+        (stmt,) = parse_method_body("this.x = 1;")
+        assert isinstance(stmt.target, ast.FieldAccess)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_method_body("xs[0] = 1;")
+        assert isinstance(stmt.target, ast.ArrayIndex)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_method_body("1 + 2 = 3;")
+
+    def test_if_else(self):
+        (stmt,) = parse_method_body("if (a) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        (stmt,) = parse_method_body("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_branch is None
+        assert stmt.then_branch.else_branch is not None
+
+    def test_while(self):
+        (stmt,) = parse_method_body("while (a) { b = 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for(self):
+        (stmt,) = parse_method_body("for (int i = 0; i < 10; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.condition is not None
+        assert isinstance(stmt.update, ast.Assign)
+
+    def test_for_with_empty_clauses(self):
+        (stmt,) = parse_method_body("for (;;) { break; }")
+        assert stmt.init is None and stmt.condition is None and stmt.update is None
+
+    def test_return_break_continue(self):
+        stmts = parse_method_body("while (true) { break; continue; } return;")
+        loop_body = stmts[0].body.statements
+        assert isinstance(loop_body[0], ast.Break)
+        assert isinstance(loop_body[1], ast.Continue)
+        assert isinstance(stmts[1], ast.Return)
+
+
+class TestExpressions:
+    def expr(self, text):
+        (stmt,) = parse_method_body(f"x = {text};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = self.expr("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_comparison(self):
+        expr = self.expr("a + 1 <= b * 2")
+        assert expr.op == "<="
+
+    def test_unary(self):
+        expr = self.expr("!a")
+        assert isinstance(expr, ast.Unary)
+        expr = self.expr("-x")
+        assert isinstance(expr, ast.Unary)
+
+    def test_parenthesized(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_new_object(self):
+        expr = self.expr("new User(\"a\", 3)")
+        assert isinstance(expr, ast.NewObject)
+        assert len(expr.args) == 2
+
+    def test_new_array(self):
+        expr = self.expr("new int[10]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.element_type is INT
+
+    def test_chained_postfix(self):
+        expr = self.expr("a.b.c(1)[2]")
+        assert isinstance(expr, ast.ArrayIndex)
+        assert isinstance(expr.array, ast.MethodCall)
+
+    def test_unqualified_call(self):
+        expr = self.expr("helper(1)")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.receiver is None
+
+    def test_cast(self):
+        expr = self.expr("(User)o")
+        assert isinstance(expr, ast.Cast)
+
+    def test_cast_vs_parens(self):
+        expr = self.expr("(a) + b")
+        assert isinstance(expr, ast.Binary)
+
+    def test_instanceof(self):
+        expr = self.expr("o instanceof User")
+        assert isinstance(expr, ast.InstanceOf)
+
+    def test_super_call(self):
+        expr = self.expr("super.size()")
+        assert isinstance(expr, ast.SuperCall)
+
+    def test_string_method_chain(self):
+        expr = self.expr('"a@b".split("@")[0]')
+        assert isinstance(expr, ast.ArrayIndex)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("class C { void m() { int x = 1 } }")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse("class C { void m() { }")
+
+    def test_stray_token_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("42")

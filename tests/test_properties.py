@@ -1,0 +1,376 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: the type lattice, descriptor encoding, the lexer, expression
+evaluation, GC graph preservation, and UPT diffing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.compile import compile_source
+from repro.dsu.upt import diff_programs, version_prefix
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+from repro.lang.types import (
+    BOOL,
+    INT,
+    STRING,
+    SubtypeOracle,
+    array_type,
+    class_type,
+    method_descriptor,
+    parse_descriptor,
+    parse_method_descriptor,
+)
+from repro.vm.heap import NULL
+from repro.vm.vm import VM
+
+# ---------------------------------------------------------------------------
+# type descriptors
+
+
+def base_types():
+    return st.sampled_from([INT, BOOL, STRING, class_type("Object"), class_type("Foo"),
+                            class_type("BarBaz9")])
+
+
+def jm_types():
+    return st.recursive(base_types(), lambda t: t.map(array_type), max_leaves=4)
+
+
+class TestTypeDescriptors:
+    @given(jm_types())
+    @settings(max_examples=60)
+    def test_descriptor_roundtrip_is_identity(self, t):
+        assert parse_descriptor(t.descriptor) is t
+
+    @given(st.lists(jm_types(), max_size=5), jm_types())
+    @settings(max_examples=40)
+    def test_method_descriptor_roundtrip(self, params, ret):
+        descriptor = method_descriptor(params, ret)
+        parsed_params, parsed_ret = parse_method_descriptor(descriptor)
+        assert parsed_params == params
+        assert parsed_ret is ret
+
+
+# ---------------------------------------------------------------------------
+# subtype lattice over random forests
+
+
+@st.composite
+def class_forest(draw):
+    """A random single-inheritance hierarchy as {name: parent}.
+
+    Mirrors the system invariant the symbol table enforces: every class
+    chains up to Object (roots get Object as their parent).
+    """
+    size = draw(st.integers(min_value=1, max_value=8))
+    names = [f"K{i}" for i in range(size)]
+    parents = {"Object": None, "K0": "Object"}
+    for i in range(1, size):
+        parent_index = draw(st.integers(min_value=-1, max_value=i - 1))
+        parents[names[i]] = "Object" if parent_index < 0 else names[parent_index]
+    return parents
+
+
+class TestSubtypeOracle:
+    @given(class_forest(), st.data())
+    @settings(max_examples=60)
+    def test_join_is_commutative_upper_bound(self, forest, data):
+        oracle = SubtypeOracle(lambda name: forest.get(name))
+        names = sorted(forest)
+        a = class_type(data.draw(st.sampled_from(names)))
+        b = class_type(data.draw(st.sampled_from(names)))
+        try:
+            joined_ab = oracle.join(a, b)
+            joined_ba = oracle.join(b, a)
+        except ValueError:
+            # No common ancestor among roots without Object: acceptable for
+            # detached forests, and symmetric.
+            try:
+                oracle.join(b, a)
+                assert False, "join raised one way only"
+            except ValueError:
+                return
+        assert joined_ab is joined_ba
+        assert oracle.is_assignable(a, joined_ab)
+        assert oracle.is_assignable(b, joined_ab)
+
+    @given(class_forest(), st.data())
+    @settings(max_examples=40)
+    def test_subclass_reflexive_and_transitive_to_root(self, forest, data):
+        oracle = SubtypeOracle(lambda name: forest.get(name))
+        name = data.draw(st.sampled_from(sorted(forest)))
+        assert oracle.is_subclass(name, name)
+        current = name
+        while forest.get(current) is not None:
+            current = forest[current]
+            assert oracle.is_subclass(name, current)
+
+
+# ---------------------------------------------------------------------------
+# lexer round trips
+
+
+_ident = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {"class", "extends", "static", "final", "native", "private",
+                        "public", "protected", "if", "else", "while", "for",
+                        "return", "break", "continue", "new", "this", "super",
+                        "null", "true", "false", "instanceof", "int", "bool",
+                        "string", "void"}
+)
+
+
+class TestLexer:
+    @given(st.lists(st.one_of(
+        _ident,
+        st.integers(min_value=0, max_value=10**9).map(str),
+        st.sampled_from(["+", "-", "*", "/", "==", "!=", "<=", ">=", "{", "}",
+                         "(", ")", ";", ",", "class", "while", "return"]),
+    ), max_size=20))
+    @settings(max_examples=60)
+    def test_tokenize_of_spaced_tokens_preserves_values(self, pieces):
+        source = " ".join(pieces)
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert [t.value for t in tokens[:-1]] == pieces
+
+    @given(st.text(alphabet=st.characters(blacklist_characters='"\\\n'),
+                   max_size=30))
+    @settings(max_examples=60)
+    def test_string_literal_roundtrip(self, text):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        tokens = tokenize(f'"{escaped}"')
+        assert tokens[0].value == text
+
+
+# ---------------------------------------------------------------------------
+# arithmetic: compiled jmini agrees with Python (Java division semantics)
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(min_value=-50, max_value=50)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(int_exprs(depth + 1))
+    right = draw(int_exprs(depth + 1))
+    return f"({left} {op} {right})"
+
+
+class TestArithmeticAgainstPython:
+    @given(int_exprs())
+    @settings(max_examples=30, deadline=None)
+    def test_expression_value_matches_python(self, expr_text):
+        # jmini has no negative literals; render them as (0 - n).
+        rendered = expr_text.replace("(-", "(0 - ").replace(" -", " - ")
+        import re
+
+        rendered = re.sub(r"(?<![\d)])-(\d+)", r"(0 - \1)", rendered)
+        source = (
+            "class Main { static int f() { return %s; } "
+            "static void main() { Sys.print(\"\" + f()); } }" % rendered
+        )
+        vm = VM()
+        vm.boot(compile_source(source))
+        vm.start_main("Main")
+        vm.run(max_instructions=100_000)
+        assert vm.console == [str(eval(expr_text))]
+
+
+# ---------------------------------------------------------------------------
+# GC preserves arbitrary object graphs
+
+
+@st.composite
+def object_graphs(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    nodes = []
+    for index in range(size):
+        value = draw(st.integers(min_value=-1000, max_value=1000))
+        left = draw(st.one_of(st.none(), st.integers(0, size - 1)))
+        right = draw(st.one_of(st.none(), st.integers(0, size - 1)))
+        nodes.append((value, left, right))
+    roots = draw(st.lists(st.integers(0, size - 1), min_size=1, max_size=size,
+                          unique=True))
+    return nodes, roots
+
+
+GRAPH_PROGRAM = """
+class Box { int v; Box a; Box b; }
+class Anchor { static Box[] roots; }
+class Main { static void main() { } }
+"""
+
+
+class TestGCGraphPreservation:
+    @given(object_graphs(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_collection_preserves_graph_shape_and_values(self, graph, collections):
+        nodes, roots = graph
+        vm = VM(heap_cells=8192)
+        vm.boot(compile_source(GRAPH_PROGRAM))
+        box = vm.registry.get("Box")
+        anchor = vm.registry.get("Anchor")
+        array_class = vm.objects.array_class("LBox;")
+        slot = anchor.static_slots["roots"]
+        vm.jtoc.write(slot, vm.allocate_array(array_class, len(roots)))
+
+        addresses = []
+        for value, _, _ in nodes:
+            address = vm.objects.alloc_object(box)
+            vm.objects.write_field(address, "v", value)
+            addresses.append(address)
+        for address, (_, left, right) in zip(addresses, nodes):
+            if left is not None:
+                vm.objects.write_field(address, "a", addresses[left])
+            if right is not None:
+                vm.objects.write_field(address, "b", addresses[right])
+        root_array = vm.jtoc.read(slot)
+        for index, node_index in enumerate(roots):
+            vm.objects.array_set(root_array, index, addresses[node_index])
+
+        for _ in range(collections):
+            vm.collect()
+
+        # Traverse the collected graph and compare against the model,
+        # checking shape (shared nodes stay shared) and payloads.
+        root_array = vm.jtoc.read(slot)
+        seen = {}
+
+        def check(address, node_index):
+            assert address != NULL
+            if node_index in seen:
+                assert seen[node_index] == address
+                return
+            seen[node_index] = address
+            value, left, right = nodes[node_index]
+            assert vm.objects.read_field(address, "v") == value
+            a = vm.objects.read_field(address, "a")
+            b = vm.objects.read_field(address, "b")
+            if left is None:
+                assert a == NULL
+            else:
+                check(a, left)
+            if right is None:
+                assert b == NULL
+            else:
+                check(b, right)
+
+        for index, node_index in enumerate(roots):
+            check(vm.objects.array_get(root_array, index), node_index)
+        # Reverse check: each model node maps to exactly one address.
+        assert len(set(seen.values())) == len(seen)
+
+
+# ---------------------------------------------------------------------------
+# UPT diffing
+
+
+_FIELD_NAMES = ["alpha", "beta", "gamma", "delta"]
+
+
+@st.composite
+def simple_class_sources(draw):
+    fields = draw(st.lists(st.sampled_from(_FIELD_NAMES), unique=True, max_size=4))
+    body = "".join(f" int {name};" for name in fields)
+    return f"class P {{{body} }} class Main {{ static void main() {{ }} }}", tuple(fields)
+
+
+class TestUPTProperties:
+    @given(simple_class_sources())
+    @settings(max_examples=25, deadline=None)
+    def test_self_diff_is_empty(self, source_fields):
+        source, _ = source_fields
+        classfiles = compile_source(source, version="a")
+        spec = diff_programs(classfiles, classfiles, "a", "b")
+        assert not spec.class_updates
+        assert not spec.method_body_updates
+        assert not spec.indirect_methods
+        assert not spec.added_classes and not spec.deleted_classes
+        assert spec.method_body_only()
+
+    @given(simple_class_sources(), simple_class_sources())
+    @settings(max_examples=25, deadline=None)
+    def test_field_set_changes_are_class_updates(self, old, new):
+        old_source, old_fields = old
+        new_source, new_fields = new
+        old_cf = compile_source(old_source, version="a")
+        new_cf = compile_source(new_source, version="b")
+        spec = diff_programs(old_cf, new_cf, "a", "b")
+        if old_fields != new_fields:
+            assert "P" in spec.class_updates
+        else:
+            assert "P" not in spec.class_updates
+
+    @given(st.text(alphabet="0123456789.-_ab", min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_version_prefix_is_identifier_shaped(self, version):
+        prefix = version_prefix(version)
+        assert prefix.startswith("v") and prefix.endswith("_")
+        body = prefix[1:-1]
+        assert all(c.isalnum() for c in body)
+
+
+# ---------------------------------------------------------------------------
+# tier equivalence: opt-compiled (inlined) code computes what base code does
+
+
+@st.composite
+def helper_bodies(draw):
+    """A small pure helper f(x) plus a driver combining calls to it."""
+    a = draw(st.integers(min_value=-9, max_value=9))
+    b = draw(st.integers(min_value=-9, max_value=9))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    helper = f"return (x {op} {a}) + {b};".replace("+ -", "- ").replace("- -", "+ ")
+    calls = draw(st.integers(min_value=1, max_value=3))
+    combine = " + ".join(f"H.f(x + {i})" for i in range(calls))
+    return helper, combine
+
+
+class TestTierEquivalence:
+    @given(helper_bodies(), st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_opt_tier_matches_base_tier(self, bodies, argument):
+        helper, combine = bodies
+        source = (
+            "class H { static int f(int x) { %s } }"
+            "class D { static int drive(int x) { return %s; } }"
+            "class Main { static void main() { } }" % (helper, combine)
+        )
+        vm = VM()
+        vm.boot(compile_source(source))
+        entry = vm.registry.get("D")  # ensure loaded
+        drive = vm.methods.lookup("D", "drive", "(I)I")
+        base_result = vm.run_static_method_synchronously(drive, [argument])
+        vm.jit.compile_opt(drive)
+        assert drive.opt_code is not None
+        opt_result = vm.run_static_method_synchronously(drive, [argument])
+        assert base_result == opt_result
+
+
+# ---------------------------------------------------------------------------
+# class files survive serialization for arbitrary compiled programs
+
+
+class TestClassFileRoundtrip:
+    @given(simple_class_sources())
+    @settings(max_examples=20, deadline=None)
+    def test_json_roundtrip_preserves_signatures(self, source_fields):
+        from repro.bytecode.classfile import ClassFile
+
+        source, _ = source_fields
+        for name, classfile in compile_source(source, version="x").items():
+            restored = ClassFile.from_json(classfile.to_json())
+            assert restored.field_signature() == classfile.field_signature()
+            assert restored.method_signatures() == classfile.method_signatures()
+
+    @given(simple_class_sources())
+    @settings(max_examples=15, deadline=None)
+    def test_diff_of_roundtripped_program_is_empty(self, source_fields):
+        from repro.bytecode.classfile import ClassFile
+
+        source, _ = source_fields
+        original = compile_source(source, version="x")
+        restored = {
+            name: ClassFile.from_json(cf.to_json()) for name, cf in original.items()
+        }
+        spec = diff_programs(original, restored, "x", "y")
+        assert not spec.class_updates and not spec.method_body_updates

@@ -1,0 +1,145 @@
+"""Unit tests for the DSU safe-point analysis: restricted-set resolution,
+stack classification and return-barrier placement."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.dsu.safepoint import (
+    install_return_barriers,
+    resolve_restricted,
+    scan_stacks,
+)
+from repro.dsu.specification import UpdateSpecification
+from repro.vm.frames import Frame, VMThread
+from repro.vm.vm import VM
+
+SOURCE = """
+class A {
+    static void outer() { middle(); }
+    static void middle() { inner(); }
+    static void inner() { Sys.sleep(1); }
+}
+class B {
+    static int touch(A a) { return 0; }
+}
+class Main { static void main() { } }
+"""
+
+
+@pytest.fixture
+def vm():
+    machine = VM()
+    machine.boot(compile_source(SOURCE, version="t"))
+    return machine
+
+
+def make_spec(**kwargs):
+    spec = UpdateSpecification("1", "2")
+    for key, value in kwargs.items():
+        setattr(spec, key, value)
+    return spec
+
+
+def stack_of(vm, *method_names):
+    """Build a thread whose stack is the given chain of A's statics."""
+    thread = VMThread()
+    for name in method_names:
+        entry = vm.methods.lookup("A", name, "()V")
+        code = vm.jit.ensure_compiled(entry)
+        thread.frames.append(Frame(code, [], 0))
+    vm.threads.append(thread)
+    return thread
+
+
+class TestResolution:
+    def test_missing_methods_ignored(self, vm):
+        spec = make_spec(method_body_updates={("Ghost", "spook", "()V")})
+        sets = resolve_restricted(vm, spec)
+        assert not sets.hard and not sets.recompile
+
+    def test_categories_land_in_right_buckets(self, vm):
+        spec = make_spec(
+            method_body_updates={("A", "inner", "()V")},
+            indirect_methods={("A", "middle", "()V")},
+            blacklist={("A", "outer", "()V")},
+        )
+        sets = resolve_restricted(vm, spec)
+        inner = vm.methods.lookup("A", "inner", "()V")
+        middle = vm.methods.lookup("A", "middle", "()V")
+        outer = vm.methods.lookup("A", "outer", "()V")
+        assert sets.describes(inner) == "changed"
+        assert sets.describes(middle) == "indirect"
+        assert sets.describes(outer) == "changed"  # blacklist is hard too
+        assert sets.describes(vm.methods.lookup("Main", "main", "()V")) is None
+
+
+class TestScan:
+    def test_clean_stack_is_safe(self, vm):
+        stack_of(vm, "outer", "middle", "inner")
+        sets = resolve_restricted(vm, make_spec())
+        scan = scan_stacks(vm, sets)
+        assert scan.is_safe
+        assert not scan.osr_candidates
+
+    def test_changed_method_blocks(self, vm):
+        stack_of(vm, "outer", "middle")
+        spec = make_spec(method_body_updates={("A", "middle", "()V")})
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        assert not scan.is_safe
+        assert scan.blocking_method_names() == ["A.middle()V"]
+
+    def test_indirect_base_frame_is_osr_candidate(self, vm):
+        thread = stack_of(vm, "outer", "middle")
+        spec = make_spec(indirect_methods={("A", "middle", "()V")})
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        assert scan.is_safe
+        assert scan.osr_candidates == [thread.frames[1]]
+
+    def test_indirect_opt_frame_blocks(self, vm):
+        thread = stack_of(vm, "middle")
+        entry = vm.methods.lookup("A", "middle", "()V")
+        opt = vm.jit.compile_opt(entry)
+        thread.frames[0].code = opt
+        spec = make_spec(indirect_methods={("A", "middle", "()V")})
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        assert not scan.is_safe
+        assert scan.blocking[0][2] == "opt-category-2"
+
+    def test_dead_threads_ignored(self, vm):
+        thread = stack_of(vm, "outer")
+        thread.state = VMThread.DEAD
+        spec = make_spec(method_body_updates={("A", "outer", "()V")})
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        assert scan.is_safe
+
+
+class TestBarriers:
+    def test_barrier_on_topmost_restricted_frame_only(self, vm):
+        thread = stack_of(vm, "outer", "middle", "inner")
+        spec = make_spec(
+            method_body_updates={("A", "outer", "()V"), ("A", "middle", "()V")}
+        )
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        installed = install_return_barriers(scan)
+        assert installed == 1
+        assert not thread.frames[0].return_barrier  # outer: not topmost
+        assert thread.frames[1].return_barrier      # middle: topmost restricted
+        assert not thread.frames[2].return_barrier  # inner: unrestricted
+
+    def test_reinstall_is_idempotent(self, vm):
+        stack_of(vm, "outer")
+        spec = make_spec(method_body_updates={("A", "outer", "()V")})
+        sets = resolve_restricted(vm, spec)
+        scan = scan_stacks(vm, sets)
+        assert install_return_barriers(scan) == 1
+        scan2 = scan_stacks(vm, sets)
+        assert install_return_barriers(scan2) == 0  # already armed
+
+    def test_one_barrier_per_thread(self, vm):
+        first = stack_of(vm, "outer")
+        second = stack_of(vm, "outer", "middle")
+        spec = make_spec(method_body_updates={("A", "outer", "()V")})
+        scan = scan_stacks(vm, resolve_restricted(vm, spec))
+        assert install_return_barriers(scan) == 2
+        assert first.frames[0].return_barrier
+        assert second.frames[0].return_barrier

@@ -1,0 +1,313 @@
+"""Unit tests for the jmini type checker."""
+
+import pytest
+
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse
+from repro.lang.typechecker import typecheck
+
+
+def check(source, **kwargs):
+    return typecheck(parse(source), **kwargs)
+
+
+def check_body(body, prefix=""):
+    return check("%s class C { void m() { %s } }" % (prefix, body))
+
+
+def assert_rejected(source, fragment, **kwargs):
+    with pytest.raises(TypeError_) as excinfo:
+        check(source, **kwargs)
+    assert fragment in str(excinfo.value)
+
+
+class TestExpressionTyping:
+    def test_arithmetic(self):
+        check_body("int x = 1 + 2 * 3 - 4 / 5 % 6;")
+
+    def test_arithmetic_type_error(self):
+        assert_rejected("class C { void m() { int x = 1 + true; } }", "operand")
+
+    def test_comparison_yields_bool(self):
+        check_body("bool b = 1 < 2;")
+
+    def test_logical_ops(self):
+        check_body("bool b = true && false || !true;")
+
+    def test_logical_requires_bool(self):
+        assert_rejected("class C { void m() { bool b = 1 && true; } }", "must be bool")
+
+    def test_string_concat(self):
+        check_body('string s = "a" + 1 + true + "b";')
+
+    def test_string_equality(self):
+        check_body('bool b = "a" == "b";')
+
+    def test_int_string_comparison_rejected(self):
+        assert_rejected('class C { void m() { bool b = 1 == "a"; } }', "cannot compare")
+
+    def test_null_comparison_with_reference(self):
+        check_body("C c = null; bool b = c == null;")
+
+    def test_string_methods(self):
+        check_body('int n = "abc".length(); string[] parts = "a@b".split("@");')
+
+    def test_split_with_limit(self):
+        check_body('string[] parts = "a@b@c".split("@", 2);')
+
+    def test_unknown_string_method(self):
+        assert_rejected('class C { void m() { "a".frobnicate(); } }', "no method")
+
+
+class TestNamesAndFields:
+    def test_local_resolution(self):
+        check_body("int x = 1; int y = x + 1;")
+
+    def test_unknown_name(self):
+        assert_rejected("class C { void m() { int x = nope; } }", "unknown name")
+
+    def test_duplicate_local_with_different_type_rejected(self):
+        assert_rejected(
+            'class C { void m() { int x = 1; { string x = "s"; } } }',
+            "duplicate local",
+        )
+
+    def test_redeclaration_at_same_type_reuses_slot(self):
+        # Two `for (int i ...)` loops in one method are idiomatic; the slot
+        # keeps a single static type, which the GC stack maps require.
+        check(
+            "class C { void m() {"
+            " for (int i = 0; i < 3; i = i + 1) { }"
+            " for (int i = 9; i > 0; i = i - 1) { }"
+            " } }"
+        )
+
+    def test_implicit_this_field(self):
+        check("class C { int x; void m() { x = x + 1; } }")
+
+    def test_inherited_field(self):
+        check("class A { int x; } class B extends A { void m() { x = 1; } }")
+
+    def test_static_field_access(self):
+        check("class C { static int count; void m() { C.count = C.count + 1; } }")
+
+    def test_static_field_via_bare_name(self):
+        check("class C { static int count; void m() { count = count + 1; } }")
+
+    def test_instance_field_from_static_context_rejected(self):
+        assert_rejected(
+            "class C { int x; static void m() { x = 1; } }", "static context"
+        )
+
+    def test_field_access_through_reference(self):
+        check("class A { int x; } class C { void m(A a) { int y = a.x; } }")
+
+    def test_array_length(self):
+        check_body("int[] xs = new int[3]; int n = xs.length;")
+
+
+class TestAccessControl:
+    def test_private_field_rejected_across_classes(self):
+        assert_rejected(
+            "class A { private int x; } class C { void m(A a) { int y = a.x; } }",
+            "private",
+        )
+
+    def test_private_field_allowed_same_class(self):
+        check("class A { private int x; void m() { x = 1; } }")
+
+    def test_protected_field_allowed_in_subclass(self):
+        check("class A { protected int x; } class B extends A { void m() { x = 1; } }")
+
+    def test_protected_field_rejected_elsewhere(self):
+        assert_rejected(
+            "class A { protected int x; } class C { void m(A a) { int y = a.x; } }",
+            "protected",
+        )
+
+    def test_private_method_rejected(self):
+        assert_rejected(
+            "class A { private void p() {} } class C { void m(A a) { a.p(); } }",
+            "private",
+        )
+
+    def test_access_checks_can_be_disabled(self):
+        source = "class A { private int x; } class C { void m(A a) { int y = a.x; } }"
+        check(source, access_checks=False)
+
+
+class TestFinalFields:
+    def test_final_field_assignable_in_constructor(self):
+        check("class C { final int x; C() { this.x = 1; } }")
+
+    def test_final_field_not_assignable_in_method(self):
+        assert_rejected(
+            "class C { final int x; void m() { this.x = 1; } }", "final"
+        )
+
+    def test_final_field_not_assignable_from_other_class(self):
+        assert_rejected(
+            "class A { final int x; A() { this.x = 1; } }"
+            "class C { void m(A a) { a.x = 2; } }",
+            "final",
+        )
+
+    def test_final_writes_can_be_allowed(self):
+        source = "class A { final int x; } class C { void m(A a) { a.x = 2; } }"
+        check(source, allow_final_writes=True)
+
+
+class TestMethodsAndCalls:
+    def test_virtual_call(self):
+        check("class A { int f() { return 1; } } class C { void m(A a) { int x = a.f(); } }")
+
+    def test_static_call(self):
+        check("class A { static int f() { return 1; } } class C { void m() { int x = A.f(); } }")
+
+    def test_unqualified_instance_call(self):
+        check("class C { int f() { return 1; } void m() { int x = f(); } }")
+
+    def test_unqualified_static_call(self):
+        check("class C { static int f() { return 1; } void m() { int x = f(); } }")
+
+    def test_overload_resolution_exact(self):
+        check(
+            "class C { void f(int x) {} void f(string s) {} "
+            'void m() { f(1); f("a"); } }'
+        )
+
+    def test_overload_resolution_by_subtype(self):
+        check(
+            "class A {} class B extends A {}"
+            "class C { void f(A a) {} void m() { f(new B()); } }"
+        )
+
+    def test_wrong_arg_count(self):
+        assert_rejected(
+            "class C { void f(int x) {} void m() { f(1, 2); } }", "no method"
+        )
+
+    def test_wrong_arg_type(self):
+        assert_rejected(
+            'class C { void f(int x) {} void m() { f("a"); } }', "no method"
+        )
+
+    def test_override_must_keep_return_type(self):
+        assert_rejected(
+            "class A { int f() { return 1; } }"
+            "class B extends A { string f() { return \"x\"; } }",
+            "return type",
+        )
+
+    def test_super_method_call(self):
+        check(
+            "class A { int f() { return 1; } }"
+            "class B extends A { int f() { return super.f() + 1; } }"
+        )
+
+    def test_void_cannot_be_assigned(self):
+        assert_rejected(
+            "class C { void f() {} void m() { int x = f(); } }", "cannot assign"
+        )
+
+    def test_prelude_natives_visible(self):
+        check('class C { void m() { Sys.print("hi"); int t = Sys.time(); } }')
+
+    def test_str_conversions(self):
+        check_body('string s = Str.fromInt(42); int n = Str.toInt("17");')
+
+
+class TestConstructors:
+    def test_implicit_default_constructor(self):
+        check("class A {} class C { void m() { A a = new A(); } }")
+
+    def test_explicit_constructor(self):
+        check("class A { int x; A(int x0) { this.x = x0; } } "
+              "class C { void m() { A a = new A(5); } }")
+
+    def test_missing_constructor_args(self):
+        assert_rejected(
+            "class A { A(int x) {} } class C { void m() { A a = new A(); } }",
+            "no matching constructor",
+        )
+
+    def test_super_constructor_required(self):
+        assert_rejected(
+            "class A { A(int x) {} } class B extends A { B() {} }",
+            "super",
+        )
+
+    def test_super_constructor_call(self):
+        check("class A { A(int x) {} } class B extends A { B() { super(7); } }")
+
+
+class TestStatementsAndFlow:
+    def test_condition_must_be_bool(self):
+        assert_rejected("class C { void m() { if (1) {} } }", "must be bool")
+
+    def test_return_type_checked(self):
+        assert_rejected(
+            'class C { int m() { return "a"; } }', "cannot assign"
+        )
+
+    def test_missing_return_detected(self):
+        assert_rejected(
+            "class C { int m() { if (true) { return 1; } } }", "without returning"
+        )
+
+    def test_return_on_both_branches_accepted(self):
+        check("class C { int m() { if (true) { return 1; } else { return 2; } } }")
+
+    def test_void_return_with_value_rejected(self):
+        assert_rejected("class C { void m() { return 1; } }", "void method")
+
+
+class TestSubtypingAndCasts:
+    def test_upcast_assignment(self):
+        check("class A {} class B extends A { } class C { void m() { A a = new B(); } }")
+
+    def test_downcast_needs_cast(self):
+        assert_rejected(
+            "class A {} class B extends A {} class C { void m(A a) { B b = a; } }",
+            "cannot assign",
+        )
+
+    def test_explicit_downcast(self):
+        check("class A {} class B extends A {} class C { void m(A a) { B b = (B)a; } }")
+
+    def test_impossible_cast_rejected(self):
+        assert_rejected(
+            "class A {} class B {} class C { void m(A a) { B b = (B)a; } }",
+            "impossible cast",
+        )
+
+    def test_instanceof(self):
+        check("class A {} class B extends A {} "
+              "class C { void m(A a) { bool b = a instanceof B; } }")
+
+    def test_everything_assignable_to_object(self):
+        check_body('Object o1 = "s"; Object o2 = new int[3]; Object o3 = null;')
+
+    def test_array_invariance(self):
+        assert_rejected(
+            "class A {} class B extends A {} "
+            "class C { void m() { A[] xs = new B[3]; } }",
+            "cannot assign",
+        )
+
+
+class TestClassTable:
+    def test_duplicate_class_rejected(self):
+        assert_rejected("class A {} class A {}", "duplicate class")
+
+    def test_unknown_superclass_rejected(self):
+        assert_rejected("class A extends Nope {}", "unknown class")
+
+    def test_cyclic_inheritance_rejected(self):
+        assert_rejected("class A extends B {} class B extends A {}", "cyclic")
+
+    def test_unknown_field_type_rejected(self):
+        assert_rejected("class A { Nope x; }", "unknown type")
+
+    def test_cannot_redefine_prelude_class(self):
+        assert_rejected("class Sys {}", "duplicate class")

@@ -1,0 +1,230 @@
+"""Unit tests for the Update Preparation Tool: diff classification, stub
+generation and default-transformer generation."""
+
+import pytest
+
+from repro.compiler.compile import compile_source
+from repro.dsu.upt import (
+    diff_programs,
+    flattened_instance_fields,
+    generate_default_transformers,
+    generate_new_program_stubs,
+    generate_old_stubs,
+    prepare_update,
+    version_prefix,
+)
+
+V1 = """
+class User {
+    private string name;
+    int age;
+    static int count;
+    User(string n) { this.name = n; }
+    string describe() { return name + ":" + age; }
+    void birthday() { age = age + 1; }
+}
+class Util {
+    static int double2(int x) { return x + x; }
+    static string label(User u) { return u.describe(); }
+}
+class Main { static void main() { } }
+"""
+
+# age -> years (rename = delete+add), new email field, describe body change,
+# birthday deleted, a new class added, Util.label indirect (touches User).
+V2 = """
+class User {
+    private string name;
+    int years;
+    string email;
+    static int count;
+    User(string n) { this.name = n; }
+    string describe() { return name + "/" + years + "/" + email; }
+}
+class Util {
+    static int double2(int x) { return x + x; }
+    static string label(User u) { return u.describe(); }
+}
+class Audit { static int events; }
+class Main { static void main() { } }
+"""
+
+
+@pytest.fixture(scope="module")
+def spec():
+    old = compile_source(V1, version="1.0")
+    new = compile_source(V2, version="2.0")
+    return diff_programs(old, new, "1.0", "2.0")
+
+
+class TestDiffClassification:
+    def test_class_update_detected(self, spec):
+        assert spec.class_updates == {"User"}
+
+    def test_added_class(self, spec):
+        assert spec.added_classes == {"Audit"}
+
+    def test_deleted_method_is_category1(self, spec):
+        assert ("User", "birthday", "()V") in spec.deleted_methods
+        assert ("User", "birthday", "()V") in spec.category1()
+
+    def test_changed_method_in_updated_class_is_category1(self, spec):
+        assert ("User", "describe", "()S") in spec.category1()
+
+    def test_indirect_method_detected(self, spec):
+        # Util.label's bytecode is unchanged but calls a User method
+        # virtually: its compiled code bakes User's TIB layout.
+        assert ("Util", "label", "(LUser;)S") in spec.indirect_methods
+        assert ("Util", "label", "(LUser;)S") in spec.category2()
+
+    def test_pure_methods_unrestricted(self, spec):
+        assert ("Util", "double2", "(I)I") not in spec.category1()
+        assert ("Util", "double2", "(I)I") not in spec.category2()
+
+    def test_summary_counts(self, spec):
+        summary = spec.summaries["User"]
+        assert summary.fields_added == 2  # years, email
+        assert summary.fields_deleted == 1  # age
+        assert summary.methods_deleted == 1  # birthday
+        assert summary.methods_body_changed == 1  # describe
+        assert not spec.method_body_only()
+
+    def test_blacklist_is_category3(self):
+        old = compile_source(V1, version="1.0")
+        new = compile_source(V2, version="2.0")
+        spec = diff_programs(old, new, "1.0", "2.0",
+                             blacklist=[("Main", "main", "()V")])
+        assert ("Main", "main", "()V") in spec.category3()
+
+
+class TestVersionPrefix:
+    def test_examples(self):
+        assert version_prefix("1.3.1") == "v131_"
+        assert version_prefix("5.1.10") == "v5110_"
+        assert version_prefix("2.0-rc1") == "v20rc1_"
+
+
+class TestStubGeneration:
+    def test_old_stub_has_fields_only(self, spec):
+        old = compile_source(V1, version="1.0")
+        stubs = generate_old_stubs(old, spec)
+        assert "class v10_User" in stubs
+        assert "string name;" in stubs
+        assert "int age;" in stubs
+        assert "static int count;" in stubs
+        assert "describe" not in stubs  # methods removed (paper §2.3)
+
+    def test_new_program_stubs_compile(self):
+        new = compile_source(V2, version="2.0")
+        stubs = generate_new_program_stubs(new)
+        compiled = compile_source(stubs, access_checks=False,
+                                  allow_final_writes=True)
+        assert set(compiled) == {"User", "Util", "Audit", "Main"}
+
+    def test_old_stub_field_types_point_at_new_classes(self):
+        # A field whose type is an updated class keeps the NEW name: by
+        # transformer time, old objects' fields reference transformed
+        # objects (paper §2.3).
+        v1 = "class A { B partner; } class B { int x; } " \
+             "class Main { static void main() { } }"
+        v2 = "class A { B partner; int extra; } class B { int x; int y; } " \
+             "class Main { static void main() { } }"
+        old = compile_source(v1, version="1.0")
+        new = compile_source(v2, version="2.0")
+        spec = diff_programs(old, new, "1.0", "2.0")
+        stubs = generate_old_stubs(old, spec)
+        assert "B partner;" in stubs  # not v10_B
+        assert "class v10_B" in stubs
+
+    def test_deleted_class_stub_generated_with_object_typed_fields(self):
+        v1 = ("class Gone { static int total; } "
+              "class Keep { Gone g; int k; } "
+              "class Main { static void main() { } }")
+        v2 = ("class Keep { int k; int k2; } "
+              "class Main { static void main() { } }")
+        old = compile_source(v1, version="1.0")
+        new = compile_source(v2, version="2.0")
+        spec = diff_programs(old, new, "1.0", "2.0")
+        assert spec.deleted_classes == {"Gone"}
+        stubs = generate_old_stubs(old, spec)
+        assert "class v10_Gone" in stubs
+        assert "static int total;" in stubs
+        assert "Object g;" in stubs  # deleted type exposed as Object
+
+
+class TestDefaultTransformers:
+    def test_matching_fields_copied(self, spec):
+        old = compile_source(V1, version="1.0")
+        new = compile_source(V2, version="2.0")
+        source = generate_default_transformers(old, new, spec)
+        assert "to.name = from.name;" in source
+        assert "User.count = v10_User.count;" in source
+        # renamed/new fields left at defaults
+        assert "to.years" not in source
+        assert "to.email" not in source
+        assert "to.age" not in source
+
+    def test_overrides_replace_defaults(self, spec):
+        old = compile_source(V1, version="1.0")
+        new = compile_source(V2, version="2.0")
+        override = """
+    static void jvolveClass(User unused) { }
+    static void jvolveObject(User to, v10_User from) {
+        to.name = from.name;
+        to.years = from.age;
+    }
+"""
+        source = generate_default_transformers(
+            old, new, spec, overrides={"User": override}
+        )
+        assert "to.years = from.age;" in source
+
+    def test_prepared_update_compiles_transformers(self):
+        old = compile_source(V1, version="1.0")
+        new = compile_source(V2, version="2.0")
+        prepared = prepare_update(old, new, "1.0", "2.0")
+        assert "JvolveTransformers" in prepared.transformer_classfiles
+        transformers = prepared.transformer_classfiles["JvolveTransformers"]
+        assert transformers.get_method("jvolveObject", "(LUser;,Lv10_User;)V")
+        assert transformers.get_method("jvolveClass", "(LUser;)V")
+        assert prepared.prefix == "v10_"
+
+
+class TestFlattenedLayout:
+    def test_superclass_fields_first(self):
+        source = ("class A { int a1; int a2; } class B extends A { int b1; } "
+                  "class Main { static void main() { } }")
+        classfiles = compile_source(source)
+        layout = flattened_instance_fields(classfiles, "B")
+        assert [name for name, _ in layout] == ["a1", "a2", "b1"]
+
+    def test_layout_change_propagates_to_subclass(self):
+        v1 = ("class A { int a1; } class B extends A { int b1; } "
+              "class Main { static void main() { } }")
+        v2 = ("class A { int a1; int a2; } class B extends A { int b1; } "
+              "class Main { static void main() { } }")
+        spec = diff_programs(
+            compile_source(v1, version="1"), compile_source(v2, version="2"),
+            "1", "2",
+        )
+        assert {"A", "B"} <= spec.class_updates
+
+
+class TestSpecSerialization:
+    def test_json_roundtrip(self, spec):
+        from repro.dsu.specification import UpdateSpecification
+
+        restored = UpdateSpecification.from_json(spec.to_json())
+        assert restored.class_updates == spec.class_updates
+        assert restored.added_classes == spec.added_classes
+        assert restored.deleted_classes == spec.deleted_classes
+        assert restored.method_body_updates == spec.method_body_updates
+        assert restored.indirect_methods == spec.indirect_methods
+        assert restored.deleted_methods == spec.deleted_methods
+        assert restored.category1() == spec.category1()
+        assert restored.category2() == spec.category2()
+
+    def test_spec_file_is_human_readable(self, spec):
+        text = spec.to_json()
+        assert '"class_updates"' in text
+        assert '"User"' in text

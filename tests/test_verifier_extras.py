@@ -1,0 +1,184 @@
+"""Additional verifier coverage: reference joins at merge points, cast
+narrowing, nested arrays, native signatures and stack-map shapes."""
+
+import pytest
+
+from repro.bytecode.classfile import MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.bytecode.verifier import ClassTable, Verifier, VerifyError, verify_classfiles
+from repro.compiler.compile import compile_prelude, compile_source
+from repro.lang.types import class_type
+
+
+def verified(source):
+    classfiles = dict(compile_prelude())
+    classfiles.update(compile_source(source))
+    return classfiles, verify_classfiles(classfiles)
+
+
+class TestReferenceJoins:
+    def test_branches_join_to_common_superclass(self):
+        source = """
+        class Animal { int noise() { return 0; } }
+        class Dog extends Animal { int noise() { return 1; } }
+        class Cat extends Animal { int noise() { return 2; } }
+        class Main {
+            static int pick(bool flag) {
+                Animal a = null;
+                if (flag) { a = new Dog(); } else { a = new Cat(); }
+                return a.noise();
+            }
+        }
+        """
+        classfiles, results = verified(source)
+        pick = results["Main"][("pick", "(Z)I")]
+        # At the virtual call after the join, the local holds the join type.
+        call_pcs = [
+            pc for pc, i in enumerate(pick.method.instructions)
+            if i.op == "INVOKEVIRTUAL"
+        ]
+        state = pick.stack_map_at(call_pcs[0])
+        assert class_type("Animal") in state.locals or any(
+            getattr(value, "name", None) == "Animal" for value in state.locals
+        )
+
+    def test_null_joins_with_reference(self):
+        verified(
+            """
+            class Box { }
+            class Main {
+                static Box maybe(bool flag) {
+                    Box b = null;
+                    if (flag) { b = new Box(); }
+                    return b;
+                }
+            }
+            """
+        )
+
+    def test_checkcast_narrows_stack_type(self):
+        source = """
+        class A { }
+        class B extends A { int only() { return 7; } }
+        class Main {
+            static int f(A a) { return ((B)a).only(); }
+        }
+        """
+        verified(source)  # would fail if the cast did not narrow
+
+
+class TestArraysDeep:
+    def test_nested_arrays_verify(self):
+        verified(
+            """
+            class Main {
+                static int f() {
+                    int[][] grid = new int[3][];
+                    grid[0] = new int[4];
+                    grid[0][2] = 9;
+                    return grid[0][2];
+                }
+            }
+            """
+        )
+
+    def test_array_covariant_read_via_object(self):
+        verified(
+            """
+            class Main {
+                static Object f() {
+                    string[] xs = new string[1];
+                    xs[0] = "s";
+                    return xs;
+                }
+            }
+            """
+        )
+
+    def test_astore_of_wrong_type_rejected(self):
+        table = ClassTable(compile_prelude())
+        method = MethodInfo(
+            "m", "()V", True, False, "public", 0,
+            [
+                Instr("CONST_INT", 1),
+                Instr("NEWARRAY", "S"),   # string[]
+                Instr("CONST_INT", 0),
+                Instr("CONST_INT", 5),    # int into string[]
+                Instr("ASTORE"),
+                Instr("RETURN"),
+            ],
+        )
+        with pytest.raises(VerifyError, match="cannot store"):
+            Verifier(table).verify_method("Object", method)
+
+
+class TestStackMapsShape:
+    def test_every_reachable_pc_has_a_state(self):
+        source = """
+        class Main {
+            static int f(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { total = total + i; }
+                    else { total = total - 1; }
+                }
+                return total;
+            }
+        }
+        """
+        classfiles, results = verified(source)
+        f = results["Main"][("f", "(I)I")]
+        executed = set()
+        # Interpret abstractly: every pc the verifier deemed reachable must
+        # carry a state whose locals length equals max_locals.
+        for pc, state in f.states.items():
+            assert len(state.locals) == f.method.max_locals
+            executed.add(pc)
+        # The entry and the final return are present.
+        assert 0 in executed
+        return_pcs = [
+            pc for pc, i in enumerate(f.method.instructions)
+            if i.op == "RETURN_VALUE"
+        ]
+        assert any(pc in executed for pc in return_pcs)
+
+    def test_unreachable_trailing_return_has_no_state(self):
+        source = """
+        class Main {
+            static int f() { return 5; }
+        }
+        """
+        classfiles, results = verified(source)
+        f = results["Main"][("f", "()I")]
+        trailing = len(f.method.instructions) - 1
+        assert f.method.instructions[trailing].op == "RETURN"
+        assert trailing not in f.states
+
+    def test_invokenative_pops_and_pushes(self):
+        # String length: INVOKENATIVE with one receiver arg and int result.
+        source = """
+        class Main {
+            static int f(string s) { return s.length(); }
+        }
+        """
+        classfiles, results = verified(source)
+        f = results["Main"][("f", "(S)I")]
+        native_pcs = [
+            pc for pc, i in enumerate(f.method.instructions)
+            if i.op == "INVOKENATIVE"
+        ]
+        state = f.stack_map_at(native_pcs[0])
+        _, stack_refs = state.reference_map()
+        assert stack_refs == (True,)  # the receiver string
+
+
+class TestMaxStack:
+    def test_max_stack_recorded(self):
+        source = """
+        class Main {
+            static int f(int a, int b, int c) { return a + b * c + (a - b); }
+        }
+        """
+        classfiles, results = verified(source)
+        f = results["Main"][("f", "(I,I,I)I")]
+        assert f.max_stack >= 3

@@ -1,0 +1,357 @@
+"""End-to-end VM execution tests: compile jmini source, run it, observe
+console output and VM state."""
+
+import pytest
+
+from tests.conftest import make_vm, run_main
+
+
+class TestBasicExecution:
+    def test_hello_world(self):
+        vm = run_main(
+            """
+            class Main { static void main() { Sys.print("hello world"); } }
+            """
+        )
+        assert vm.console == ["hello world"]
+
+    def test_arithmetic(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    Sys.print("" + (2 + 3 * 4));
+                    Sys.print("" + (10 / 3));
+                    Sys.print("" + (10 % 3));
+                    Sys.print("" + (0 - 7) / 2);
+                    Sys.print("" + (0 - 7) % 2);
+                }
+            }
+            """
+        )
+        assert vm.console == ["14", "3", "1", "-3", "-1"]
+
+    def test_string_operations(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    string s = "Hello, World";
+                    Sys.print("" + s.length());
+                    Sys.print(s.substring(7, 12));
+                    Sys.print(s.toUpperCase());
+                    Sys.print("" + s.indexOf("World"));
+                    Sys.print("" + s.startsWith("Hello"));
+                    string[] parts = "a@b@c".split("@");
+                    Sys.print("" + parts.length);
+                    Sys.print(parts[1]);
+                    string[] limited = "a@b@c".split("@", 2);
+                    Sys.print(limited[1]);
+                }
+            }
+            """
+        )
+        assert vm.console == ["12", "World", "HELLO, WORLD", "7", "true", "3", "b", "b@c"]
+
+    def test_control_flow(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    int total = 0;
+                    for (int i = 1; i <= 10; i = i + 1) { total = total + i; }
+                    Sys.print("" + total);
+                    int n = 27;
+                    int steps = 0;
+                    while (n != 1) {
+                        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                        steps = steps + 1;
+                    }
+                    Sys.print("" + steps);
+                }
+            }
+            """
+        )
+        assert vm.console == ["55", "111"]
+
+    def test_objects_and_fields(self):
+        vm = run_main(
+            """
+            class Counter {
+                int value;
+                void bump() { value = value + 1; }
+                int get() { return value; }
+            }
+            class Main {
+                static void main() {
+                    Counter c = new Counter();
+                    c.bump(); c.bump(); c.bump();
+                    Sys.print("" + c.get());
+                }
+            }
+            """
+        )
+        assert vm.console == ["3"]
+
+    def test_constructor_and_initializers(self):
+        vm = run_main(
+            """
+            class Account {
+                int balance = 100;
+                string owner;
+                Account(string who) { this.owner = who; }
+            }
+            class Main {
+                static void main() {
+                    Account a = new Account("ada");
+                    Sys.print(a.owner + ":" + a.balance);
+                }
+            }
+            """
+        )
+        assert vm.console == ["ada:100"]
+
+    def test_static_fields(self):
+        vm = run_main(
+            """
+            class Registry {
+                static int count = 5;
+                static void bump() { count = count + 1; }
+            }
+            class Main {
+                static void main() {
+                    Registry.bump();
+                    Registry.bump();
+                    Sys.print("" + Registry.count);
+                }
+            }
+            """
+        )
+        assert vm.console == ["7"]
+
+    def test_virtual_dispatch(self):
+        vm = run_main(
+            """
+            class Animal { string speak() { return "..."; } }
+            class Dog extends Animal { string speak() { return "woof"; } }
+            class Cat extends Animal { string speak() { return "meow"; } }
+            class Main {
+                static void main() {
+                    Animal[] zoo = new Animal[3];
+                    zoo[0] = new Dog();
+                    zoo[1] = new Cat();
+                    zoo[2] = new Animal();
+                    for (int i = 0; i < zoo.length; i = i + 1) {
+                        Sys.print(zoo[i].speak());
+                    }
+                }
+            }
+            """
+        )
+        assert vm.console == ["woof", "meow", "..."]
+
+    def test_inherited_fields_and_super(self):
+        vm = run_main(
+            """
+            class Base {
+                int x;
+                Base(int x0) { this.x = x0; }
+                int describe() { return x; }
+            }
+            class Derived extends Base {
+                int y;
+                Derived() { super(10); this.y = 5; }
+                int describe() { return super.describe() + y; }
+            }
+            class Main {
+                static void main() { Sys.print("" + new Derived().describe()); }
+            }
+            """
+        )
+        assert vm.console == ["15"]
+
+    def test_instanceof_and_cast(self):
+        vm = run_main(
+            """
+            class A { }
+            class B extends A { int bonus() { return 42; } }
+            class Main {
+                static void main() {
+                    A a = new B();
+                    if (a instanceof B) { Sys.print("" + ((B)a).bonus()); }
+                    A plain = new A();
+                    Sys.print("" + (plain instanceof B));
+                }
+            }
+            """
+        )
+        assert vm.console == ["42", "false"]
+
+    def test_recursion(self):
+        vm = run_main(
+            """
+            class Main {
+                static int fib(int n) {
+                    if (n < 2) { return n; }
+                    return fib(n - 1) + fib(n - 2);
+                }
+                static void main() { Sys.print("" + fib(15)); }
+            }
+            """
+        )
+        assert vm.console == ["610"]
+
+    def test_string_equality_semantics(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    string a = "he" + "llo";
+                    Sys.print("" + (a == "hello"));
+                    string n = null;
+                    Sys.print("" + (n == null));
+                    Sys.print("" + (a == null));
+                }
+            }
+            """
+        )
+        assert vm.console == ["true", "true", "false"]
+
+
+class TestTraps:
+    def test_null_dereference_kills_thread(self):
+        vm = run_main(
+            """
+            class Box { int v; }
+            class Main {
+                static void main() {
+                    Box b = null;
+                    Sys.print("" + b.v);
+                }
+            }
+            """
+        )
+        assert any("null" in entry for entry in vm.trap_log)
+        assert vm.console == []
+
+    def test_division_by_zero(self):
+        vm = run_main(
+            """
+            class Main { static void main() { int z = 0; Sys.print("" + 1 / z); } }
+            """
+        )
+        assert any("division" in entry for entry in vm.trap_log)
+
+    def test_array_bounds(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() { int[] xs = new int[2]; xs[5] = 1; }
+            }
+            """
+        )
+        assert any("bounds" in entry for entry in vm.trap_log)
+
+    def test_bad_cast(self):
+        vm = run_main(
+            """
+            class A {} class B extends A {}
+            class Main {
+                static void main() { A a = new A(); B b = (B)a; }
+            }
+            """
+        )
+        assert any("cast" in entry for entry in vm.trap_log)
+
+
+class TestThreads:
+    def test_spawned_threads_interleave(self):
+        vm = run_main(
+            """
+            class Worker {
+                int id;
+                Worker(int id0) { this.id = id0; }
+                void run() {
+                    for (int i = 0; i < 3; i = i + 1) { Sys.print("w" + id); }
+                }
+            }
+            class Main {
+                static void main() {
+                    Sys.spawn(new Worker(1));
+                    Sys.spawn(new Worker(2));
+                }
+            }
+            """
+        )
+        assert sorted(vm.console) == ["w1", "w1", "w1", "w2", "w2", "w2"]
+
+    def test_sleep_wakes_at_deadline(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() {
+                    int before = Sys.time();
+                    Sys.sleep(50);
+                    int after = Sys.time();
+                    Sys.print("" + (after - before >= 50));
+                }
+            }
+            """
+        )
+        assert vm.console == ["true"]
+
+    def test_time_advances_when_all_threads_sleep(self):
+        vm = run_main(
+            """
+            class Main {
+                static void main() { Sys.sleep(500); Sys.print("woke"); }
+            }
+            """
+        )
+        assert vm.console == ["woke"]
+        assert vm.clock.now_ms >= 500
+
+
+class TestAdaptiveCompilation:
+    def test_hot_method_promoted_to_opt(self):
+        vm = run_main(
+            """
+            class Math2 {
+                static int half(int x) { return x / 2; }
+            }
+            class Main {
+                static void main() {
+                    int acc = 0;
+                    for (int i = 0; i < 200; i = i + 1) { acc = acc + Math2.half(i); }
+                    Sys.print("" + acc);
+                }
+            }
+            """
+        )
+        assert vm.console == ["9900"]
+        entry = vm.methods.lookup("Math2", "half", "(I)I")
+        assert entry.opt_code is not None
+        assert vm.jit.opt_compiles >= 1
+
+    def test_inlined_callee_recorded(self):
+        vm = run_main(
+            """
+            class Inner {
+                static int twice(int x) { return x + x; }
+            }
+            class Outer {
+                static int go(int x) { return Inner.twice(x) + 1; }
+            }
+            class Main {
+                static void main() {
+                    int acc = 0;
+                    for (int i = 0; i < 200; i = i + 1) { acc = acc + Outer.go(i); }
+                    Sys.print("" + acc);
+                }
+            }
+            """
+        )
+        assert vm.console == ["40000"]
+        entry = vm.methods.lookup("Outer", "go", "(I)I")
+        assert entry.opt_code is not None
+        assert ("Inner", "twice", "(I)I") in entry.opt_code.inlined
