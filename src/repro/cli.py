@@ -116,8 +116,21 @@ def cmd_update(args) -> int:
 
     for warning in validate_update(old, prepared):
         print(f"[warn] {warning}", file=sys.stderr)
+    timeout_ms = (
+        args.dsu_timeout_ms if args.dsu_timeout_ms is not None
+        else args.timeout_ms
+    )
+    from .dsu.safepoint import RetryPolicy
+
+    try:
+        # Validate the retry flags now, not when the scheduled request fires.
+        policy = RetryPolicy(timeout_ms, args.dsu_retries, args.dsu_backoff)
+    except ValueError as bad:
+        print(f"error: {bad}", file=sys.stderr)
+        return 2
     vm.events.schedule(
-        args.at, lambda: engine.request_update(prepared, timeout_ms=args.timeout_ms)
+        args.at,
+        lambda: engine.request_update(prepared, policy=policy),
     )
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
     for line in vm.console:
@@ -126,11 +139,17 @@ def cmd_update(args) -> int:
     if result is None:
         print("[update] never requested (program ended first?)", file=sys.stderr)
         return 1
+    detail = ""
+    if result.succeeded:
+        detail = (f" (pause {result.total_pause_ms:.2f} sim-ms, "
+                  f"{result.objects_transformed} objects transformed)")
+    else:
+        detail = (f" [phase={result.failed_phase} code={result.reason_code}"
+                  f" rolled_back={result.rolled_back}"
+                  f" rounds={result.retry_rounds + 1}/{result.rounds_allowed}]")
     print(f"[update] {result.status}"
           + (f": {result.reason}" if result.reason else "")
-          + (f" (pause {result.total_pause_ms:.2f} sim-ms, "
-             f"{result.objects_transformed} objects transformed)"
-             if result.succeeded else ""),
+          + detail,
           file=sys.stderr)
     return 0 if result.succeeded else 1
 
@@ -175,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--at", type=float, default=100.0,
                         help="simulated ms at which to request the update")
     update.add_argument("--timeout-ms", type=float, default=15_000.0)
+    update.add_argument("--dsu-timeout-ms", type=float, default=None,
+                        help="per-round DSU safe-point window in simulated ms "
+                             "(default: --timeout-ms, i.e. the paper's 15 s)")
+    update.add_argument("--dsu-retries", type=int, default=0,
+                        help="extra safe-point acquisition rounds after the "
+                             "first window expires")
+    update.add_argument("--dsu-backoff", type=float, default=2.0,
+                        help="multiplier applied to each successive round's "
+                             "window (exponential backoff)")
     update.add_argument("--until-ms", type=float, default=10_000.0)
     update.add_argument("--max-instructions", type=int, default=50_000_000)
     update.add_argument("--heap-cells", type=int, default=1 << 18)

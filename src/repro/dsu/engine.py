@@ -23,22 +23,42 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..bytecode.classfile import CLINIT_NAME, ClassFile
+from ..vm.classloader import ClassLoadError
+from ..vm.heap import OutOfMemoryError
 from ..vm.machinecode import MethodEntry
 from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
 from ..vm.rvmclass import RVMClass
+from .faults import FaultInjector, InjectedFault
 from .safepoint import (
+    DEFAULT_TIMEOUT_MS,
     RestrictedSets,
+    RetryPolicy,
     StackScan,
     install_return_barriers,
     resolve_restricted,
     scan_stacks,
 )
+from .specification import (
+    PHASE_CLASSLOAD,
+    PHASE_CLEANUP,
+    PHASE_GC,
+    PHASE_OSR,
+    PHASE_SAFEPOINT,
+    PHASE_TRANSFORM,
+    REASON_BLACKLISTED,
+    REASON_CLASSLOAD_FAILED,
+    REASON_INTERNAL_ERROR,
+    REASON_OOM,
+    REASON_OSR_FAILED,
+    REASON_TIMEOUT,
+    REASON_TRANSFORMER_CYCLE,
+    REASON_TRANSFORMER_ERROR,
+)
+from .transaction import UpdateTransaction
 from .upt import TRANSFORMERS_CLASS, PreparedUpdate
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.vm import VM
-
-DEFAULT_TIMEOUT_MS = 15_000.0
 
 APPLIED = "applied"
 ABORTED = "aborted"
@@ -49,6 +69,53 @@ class TransformerCycleError(Exception):
     """Recursive object transformation revisited an in-progress object."""
 
 
+def _classify_failure(
+    current_phase: str, failure: Exception
+) -> Tuple[str, str, str]:
+    """Map an exception caught during :meth:`UpdateEngine._apply` onto the
+    ``(failed_phase, reason_code, human message)`` abort taxonomy."""
+    if isinstance(failure, InjectedFault):
+        return failure.phase, failure.reason_code, str(failure)
+    if isinstance(failure, TransformerCycleError):
+        return PHASE_TRANSFORM, REASON_TRANSFORMER_CYCLE, str(failure)
+    if isinstance(failure, OSRError):
+        return PHASE_OSR, REASON_OSR_FAILED, f"OSR failed: {failure}"
+    if isinstance(failure, (MemoryError, OutOfMemoryError)):
+        if current_phase == PHASE_GC:
+            message = (
+                f"heap exhausted during the update collection ({failure}); "
+                "the double copy of updated objects needs more headroom"
+            )
+        else:
+            message = f"heap exhausted during {current_phase} ({failure})"
+        return current_phase, REASON_OOM, message
+    if isinstance(failure, ClassLoadError):
+        return (
+            PHASE_CLASSLOAD,
+            REASON_CLASSLOAD_FAILED,
+            f"class installation failed: {failure}",
+        )
+    if current_phase == PHASE_TRANSFORM:
+        return (
+            PHASE_TRANSFORM,
+            REASON_TRANSFORMER_ERROR,
+            f"transformer raised {type(failure).__name__}: {failure}",
+        )
+    if current_phase == PHASE_CLASSLOAD:
+        return (
+            PHASE_CLASSLOAD,
+            REASON_CLASSLOAD_FAILED,
+            f"class installation failed: "
+            f"{type(failure).__name__}: {failure}",
+        )
+    return (
+        current_phase,
+        REASON_INTERNAL_ERROR,
+        f"internal update failure in {current_phase}: "
+        f"{type(failure).__name__}: {failure}",
+    )
+
+
 @dataclass
 class UpdateResult:
     """Everything observable about one update attempt."""
@@ -57,6 +124,22 @@ class UpdateResult:
     new_version: str
     status: str = PENDING
     reason: str = ""
+    #: which update phase the abort happened in (``""`` while pending or
+    #: after success) — one of :data:`repro.dsu.specification.UPDATE_PHASES`
+    failed_phase: str = ""
+    #: machine-readable abort category — one of
+    #: :data:`repro.dsu.specification.ABORT_REASONS`
+    reason_code: str = ""
+    #: True when the abort restored pre-update state via the transaction
+    #: snapshot (aborts before installation are side-effect-free and do not
+    #: need a rollback)
+    rolled_back: bool = False
+    #: safe-point acquisition rounds actually entered beyond the first
+    retry_rounds: int = 0
+    #: total rounds the retry policy allowed (1 = no retries)
+    rounds_allowed: int = 1
+    #: log lines from the fault injector, when one fired during this attempt
+    injected_faults: List[str] = field(default_factory=list)
     #: number of world-stops at which a safe point was checked
     attempts: int = 0
     used_return_barriers: bool = False
@@ -85,11 +168,14 @@ class UpdateResult:
 
 class _ActiveUpdate:
     def __init__(self, prepared: PreparedUpdate, sets: RestrictedSets,
-                 result: UpdateResult, deadline_ms: float):
+                 result: UpdateResult, policy: RetryPolicy, started_ms: float):
         self.prepared = prepared
         self.sets = sets
         self.result = result
-        self.deadline_ms = deadline_ms
+        self.policy = policy
+        #: current safe-point acquisition round (0-based)
+        self.round = 0
+        self.round_deadline_ms = started_ms + policy.round_timeout_ms(0)
         self.update_map: Dict[int, RVMClass] = {}
         self.renamed: List[RVMClass] = []
 
@@ -109,6 +195,7 @@ class UpdateEngine:
         vm: "VM",
         auto_read_barrier: bool = False,
         eager_old_copy_reclaim: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.vm = vm
         self.auto_read_barrier = auto_read_barrier
@@ -116,6 +203,9 @@ class UpdateEngine:
         #: reclaim them the moment the transformers finish, instead of
         #: waiting for the next collection
         self.eager_old_copy_reclaim = eager_old_copy_reclaim
+        #: optional :class:`repro.dsu.faults.FaultInjector` exercising the
+        #: abort paths; None in production
+        self.fault_injector = fault_injector
         self.active: Optional[_ActiveUpdate] = None
         self.history: List[UpdateResult] = []
         self._transform_in_progress: Set[int] = set()
@@ -127,37 +217,87 @@ class UpdateEngine:
     # public API
 
     def request_update(
-        self, prepared: PreparedUpdate, timeout_ms: float = DEFAULT_TIMEOUT_MS
+        self,
+        prepared: PreparedUpdate,
+        timeout_ms: float = DEFAULT_TIMEOUT_MS,
+        retries: int = 0,
+        backoff: float = 2.0,
+        policy: Optional[RetryPolicy] = None,
     ) -> UpdateResult:
         """Signal the VM that an update is available (paper step 2). The
-        returned result object is filled in as the update progresses."""
+        returned result object is filled in as the update progresses.
+
+        Safe-point acquisition follows a :class:`RetryPolicy`: the first
+        round waits ``timeout_ms``; each of the ``retries`` further rounds
+        multiplies the previous round's window by ``backoff`` before the
+        final abort. Pass ``policy`` to supply the three as one object.
+        """
         if self.active is not None:
             raise RuntimeError("an update is already in progress")
+        if policy is None:
+            policy = RetryPolicy(timeout_ms, retries, backoff)
         vm = self.vm
         result = UpdateResult(prepared.old_version, prepared.new_version)
         result.requested_at_ms = vm.clock.now_ms
+        result.rounds_allowed = policy.rounds
         sets = resolve_restricted(vm, prepared.spec)
-        self.active = _ActiveUpdate(
-            prepared, sets, result, vm.clock.now_ms + timeout_ms
-        )
+        self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
         self.history.append(result)
         vm.update_pending = True
         vm.yield_flag = True
-        this_update = self.active
-        vm.events.schedule(
-            self.active.deadline_ms, lambda: self._timeout_check(this_update)
-        )
+        self._schedule_deadline_check(self.active)
         return result
 
     # ------------------------------------------------------------------
     # world-stop protocol
 
-    def _timeout_check(self, expected: _ActiveUpdate) -> None:
-        if self.active is expected and self.active is not None:
-            self._abort(
-                f"timeout: no DSU safe point within the configured window; "
-                f"blockers: {sorted(self.active.result.blockers_seen)}"
+    def _schedule_deadline_check(self, active: _ActiveUpdate) -> None:
+        round_index = active.round
+        self.vm.events.schedule(
+            active.round_deadline_ms,
+            lambda: self._deadline_check(active, round_index),
+        )
+
+    def _deadline_check(self, expected: _ActiveUpdate, round_index: int) -> None:
+        if self.active is not expected:
+            return
+        if expected.round != round_index:
+            return  # a newer round re-armed its own check
+        self._round_expired()
+
+    def _round_expired(self) -> None:
+        """The current safe-point round ran out: start the next round with
+        a backoff-extended window, or abort if the budget is spent."""
+        active = self.active
+        assert active is not None
+        vm = self.vm
+        policy = active.policy
+        if active.round + 1 < policy.rounds:
+            active.round += 1
+            active.result.retry_rounds = active.round
+            active.round_deadline_ms = (
+                vm.clock.now_ms + policy.round_timeout_ms(active.round)
             )
+            # Re-arm the yield flag so the next world-stop re-scans the
+            # stacks even if no return barrier fired in the meantime.
+            vm.update_pending = True
+            vm.yield_flag = True
+            self._schedule_deadline_check(active)
+            return
+        blockers = sorted(active.result.blockers_seen)
+        reason_code = REASON_TIMEOUT
+        blacklist_names = {
+            f"{c}.{n}{d}" for c, n, d in active.prepared.spec.blacklist
+        }
+        if blockers and set(blockers) <= blacklist_names:
+            reason_code = REASON_BLACKLISTED
+        self._abort(
+            f"timeout: no DSU safe point within {policy.rounds} round(s) "
+            f"({policy.total_budget_ms():.0f} sim-ms budget); "
+            f"blockers: {blockers}",
+            phase=PHASE_SAFEPOINT,
+            reason_code=reason_code,
+        )
 
     def _world_stopped(self) -> None:
         active = self.active
@@ -165,13 +305,19 @@ class UpdateEngine:
             self.vm.update_pending = False
             return
         vm = self.vm
-        if vm.clock.now_ms >= active.deadline_ms:
-            self._abort(
-                f"timeout: no DSU safe point within the configured window; "
-                f"blockers: {sorted(active.result.blockers_seen)}"
-            )
+        if vm.clock.now_ms >= active.round_deadline_ms:
+            self._round_expired()
             return
         active.result.attempts += 1
+        injector = self.fault_injector
+        if injector is not None and injector.blocks_safepoint():
+            # Injected blocker: behave exactly like a blocked scan with no
+            # barrier to install — defer and wait for the round deadline.
+            active.result.blockers_seen.add("<injected-safepoint-blocker>")
+            active.result.injected_faults = list(injector.fired)
+            vm.update_pending = False
+            vm.yield_flag = False
+            return
         scan = scan_stacks(vm, active.sets, active.prepared.active_method_mappings)
         if scan.is_safe:
             self._apply(scan)
@@ -182,7 +328,7 @@ class UpdateEngine:
             active.result.used_return_barriers = True
             active.result.return_barriers_installed += installed
         # Defer: let threads run so restricted methods can return. The
-        # barrier (or the timeout event) re-arms the safe-point check.
+        # barrier (or the round-deadline event) re-arms the check.
         vm.update_pending = False
         vm.yield_flag = False
 
@@ -193,17 +339,35 @@ class UpdateEngine:
         self.vm.update_pending = True
         self.vm.yield_flag = True
 
-    def _abort(self, reason: str) -> None:
+    def _abort(
+        self,
+        reason: str,
+        phase: str = PHASE_SAFEPOINT,
+        reason_code: str = REASON_TIMEOUT,
+        rolled_back: bool = False,
+    ) -> None:
+        """Abandon the active update and let the VM resume the old version.
+
+        Every abort path funnels through here; none of them halts the VM.
+        Pre-installation aborts (``phase == PHASE_SAFEPOINT``) are
+        side-effect-free by construction; later phases must have rolled the
+        transaction back before calling."""
         active = self.active
         assert active is not None
         vm = self.vm
-        active.result.status = ABORTED
-        active.result.reason = reason
-        active.result.finished_at_ms = vm.clock.now_ms
+        result = active.result
+        result.status = ABORTED
+        result.reason = reason
+        result.failed_phase = phase
+        result.reason_code = reason_code
+        result.rolled_back = rolled_back
+        result.finished_at_ms = vm.clock.now_ms
         # Remove any barriers we installed.
         for thread in vm.threads:
             for frame in thread.frames:
                 frame.return_barrier = False
+        self._transform_in_progress.clear()
+        self._old_copy_of.clear()
         vm.update_pending = False
         vm.yield_flag = False
         self.active = None
@@ -212,13 +376,19 @@ class UpdateEngine:
     # applying the update
 
     def _apply(self, scan: StackScan) -> None:
+        """Apply the update as one transaction: snapshot first, then run
+        the install/OSR/GC/transform/cleanup pipeline; *any* exception in
+        any phase rolls the snapshot back and aborts with the old version
+        intact and running (no failure path halts the VM)."""
         active = self.active
         assert active is not None
         vm = self.vm
         result = active.result
+        injector = self.fault_injector
         # The world is stopped; drop the yield flag so the synchronous
         # transformer/clinit executions below run at full speed.
         vm.yield_flag = False
+        txn = UpdateTransaction(vm)
         phase_start = vm.clock.cycles
 
         def end_phase(name: str) -> None:
@@ -229,113 +399,100 @@ class UpdateEngine:
             )
             phase_start = now
 
-        # Phase: thread suspension (already stopped; account the cost).
-        vm.clock.tick(
-            vm.clock.costs.thread_suspend * max(1, len(vm.runnable_threads()))
-        )
-        end_phase("suspend")
-
-        # Phase: install modified classes and transformers.
-        self._install_classes(active)
-        end_phase("classload")
-
-        # Phase: OSR of base-compiled category-(2) frames — after class
-        # installation, as the paper requires (§3.2) — and extended OSR of
-        # mapped changed-method frames (§3.5).
-        if scan.osr_candidates:
-            result.used_osr = True
-            result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
-        for frame, key in scan.extended_osr:
-            mapping = active.prepared.active_method_mappings[key]
-            try:
-                osr_replace_mapped(vm, frame, mapping.pc_map, mapping.locals_map)
-            except OSRError as exc:
-                # Classes are already installed; an unmappable frame is
-                # unrecoverable at this point — halt rather than resume a
-                # frame running retired code.
-                result.status = ABORTED
-                result.reason = f"extended OSR failed: {exc}"
-                result.finished_at_ms = vm.clock.now_ms
-                vm.update_pending = False
-                vm.halted = True
-                self.active = None
-                return
-            result.used_osr = True
-            result.extended_osr_frames += 1
-        end_phase("osr")
-
-        # Phase: whole-heap collection with the update map. The double copy
-        # of updated objects "adds temporary memory pressure" (§3.5); if
-        # to-space cannot hold it the update dies here, and since the
-        # collection is half-done the VM cannot resume either.
+        current_phase = PHASE_CLASSLOAD
+        # An allocation-triggered collection inside the critical section
+        # (e.g. from a <clinit> or transformer) would move objects under
+        # the transaction snapshot; only the controlled update collection
+        # below may run, so ordinary GC stays disabled throughout.
+        gc_was_disabled = vm.gc_disabled
+        vm.gc_disabled = True
         try:
+            # Phase: thread suspension (already stopped; account the cost).
+            vm.clock.tick(
+                vm.clock.costs.thread_suspend * max(1, len(vm.runnable_threads()))
+            )
+            end_phase("suspend")
+
+            # Phase: install modified classes and transformers.
+            self._install_classes(active)
+            end_phase("classload")
+
+            # Phase: OSR of base-compiled category-(2) frames — after class
+            # installation, as the paper requires (§3.2) — and extended OSR
+            # of mapped changed-method frames (§3.5).
+            current_phase = PHASE_OSR
+            if scan.osr_candidates:
+                if injector is not None:
+                    injector.on_osr(
+                        scan.osr_candidates[0].code.entry.qualified_name
+                    )
+                result.used_osr = True
+                result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
+            for frame, key in scan.extended_osr:
+                mapping = active.prepared.active_method_mappings[key]
+                if injector is not None:
+                    injector.on_osr(frame.code.entry.qualified_name)
+                osr_replace_mapped(vm, frame, mapping.pc_map, mapping.locals_map)
+                result.used_osr = True
+                result.extended_osr_frames += 1
+            end_phase("osr")
+
+            # Phase: whole-heap collection with the update map. The double
+            # copy of updated objects "adds temporary memory pressure"
+            # (§3.5); if to-space cannot hold it, the abort un-flips back
+            # to from-space, where the old-layout originals are intact.
+            current_phase = PHASE_GC
+            txn.note_gc_started()
             stats = vm.collect(
                 update_map=active.update_map,
                 separate_old_copies=self.eager_old_copy_reclaim,
+                oom_at_copy=(
+                    injector.gc_oom_threshold() if injector is not None else None
+                ),
             )
-        except MemoryError as exhausted:
-            result.status = ABORTED
-            result.reason = (
-                f"heap exhausted during the update collection ({exhausted}); "
-                "the double copy of updated objects needs more headroom"
-            )
-            result.finished_at_ms = vm.clock.now_ms
-            vm.update_pending = False
-            vm.halted = True
-            self.active = None
-            return
-        end_phase("gc")
+            end_phase("gc")
 
-        # Phase: class transformers, then object transformers (§3.4).
-        vm.gc_disabled = True
-        vm.force_transform_hook = (
-            self._barrier_force if self.auto_read_barrier else self._force_transform
-        )
-        vm.transform_read_barrier = self.auto_read_barrier
-        try:
-            self._run_class_transformers(active)
-            self._run_object_transformers(active, stats.update_log)
-        except TransformerCycleError as cycle:
-            # "We detect cycles with a simple check, and abort the update"
-            # (§3.4). At this point the heap is partially transformed, so
-            # the abort is fatal: the VM halts rather than resuming a
-            # half-updated program.
-            vm.gc_disabled = False
-            vm.force_transform_hook = None
-            vm.transform_read_barrier = False
-            result.status = ABORTED
-            result.reason = str(cycle)
-            result.finished_at_ms = vm.clock.now_ms
-            vm.update_pending = False
-            vm.halted = True
-            self.active = None
+            # Phase: class transformers, then object transformers (§3.4).
+            current_phase = PHASE_TRANSFORM
+            vm.force_transform_hook = (
+                self._barrier_force if self.auto_read_barrier
+                else self._force_transform
+            )
+            vm.transform_read_barrier = self.auto_read_barrier
+            try:
+                self._run_class_transformers(active)
+                self._run_object_transformers(active, stats.update_log)
+            finally:
+                vm.force_transform_hook = None
+                vm.transform_read_barrier = False
+            end_phase("transform")
+
+            # Cleanup: clear cached old-version pointers, retire old
+            # statics, and retire the transformer class ("Since the
+            # transformation class is only active and available during the
+            # update, the VM may delete it after transformation", §2.3).
+            current_phase = PHASE_CLEANUP
+            for _, new_address in stats.update_log:
+                vm.objects.set_status(new_address, 0)
+            # "Once it processes all pairs, the log is deleted, making the
+            # duplicate old versions unreachable" (§3.4).
+            stats.update_log.clear()
+            self._old_copy_of.clear()
+            for old_class in active.renamed:
+                for name, slot in old_class.static_slots.items():
+                    if old_class.static_is_ref.get(name):
+                        vm.jtoc.write(slot, 0)
+            self._retire_transformers(active)
+            if self.eager_old_copy_reclaim:
+                # The duplicates lived in a segregated region: give it back
+                # now rather than waiting for the next collection.
+                vm.heap.reset_ceiling()
+            end_phase("cleanup")
+        except Exception as failure:  # noqa: BLE001 — every failure aborts
+            self._abort_apply(txn, current_phase, failure)
             return
         finally:
-            vm.gc_disabled = False
-            vm.force_transform_hook = None
-            vm.transform_read_barrier = False
-        end_phase("transform")
-
-        # Cleanup: clear cached old-version pointers, retire old statics,
-        # and retire the transformer class ("Since the transformation class
-        # is only active and available during the update, the VM may delete
-        # it after transformation", §2.3).
-        for _, new_address in stats.update_log:
-            vm.objects.set_status(new_address, 0)
-        # "Once it processes all pairs, the log is deleted, making the
-        # duplicate old versions unreachable" (§3.4).
-        stats.update_log.clear()
-        self._old_copy_of.clear()
-        for old_class in active.renamed:
-            for name, slot in old_class.static_slots.items():
-                if old_class.static_is_ref.get(name):
-                    vm.jtoc.write(slot, 0)
-        self._retire_transformers(active)
-        if self.eager_old_copy_reclaim:
-            # The duplicates lived in a segregated region: give it back now
-            # rather than waiting for the next collection.
-            vm.heap.reset_ceiling()
-        end_phase("cleanup")
+            vm.gc_disabled = gc_was_disabled
 
         result.objects_transformed = stats.objects_updated
         result.status = APPLIED
@@ -343,6 +500,19 @@ class UpdateEngine:
         vm.update_pending = False
         vm.yield_flag = False
         self.active = None
+
+    def _abort_apply(self, txn: UpdateTransaction, current_phase: str,
+                     failure: Exception) -> None:
+        """Roll the transaction back and convert ``failure`` into a
+        structured :data:`ABORTED` result."""
+        active = self.active
+        assert active is not None
+        phase, reason_code, message = _classify_failure(current_phase, failure)
+        txn.rollback()
+        if self.fault_injector is not None:
+            active.result.injected_faults = list(self.fault_injector.fired)
+        self._abort(message, phase=phase, reason_code=reason_code,
+                    rolled_back=True)
 
     # ------------------------------------------------------------------
     # class installation (paper §3.3)
@@ -419,6 +589,8 @@ class UpdateEngine:
             classfile = prepared.new_classfiles[name]
             new_class = self._install_one(classfile, carryover, active)
             active.result.classes_installed += 1
+            if self.fault_injector is not None:
+                self.fault_injector.on_class_installed(new_class.name)
             clinit = vm.methods.lookup(new_class.name, CLINIT_NAME, "()V")
             if clinit is not None:
                 new_clinits.append(clinit)
@@ -591,6 +763,12 @@ class UpdateEngine:
                 "(ill-defined transformer functions, paper §3.4)"
             )
         self._transform_in_progress.add(new_address)
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.on_transform_object(new_address)
+            except Exception:
+                self._transform_in_progress.discard(new_address)
+                raise
         new_class = vm.objects.class_of(new_address)
         descriptor = (
             f"(L{new_class.name};,L{active.prepared.prefix}{new_class.name};)V"

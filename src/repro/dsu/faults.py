@@ -1,0 +1,147 @@
+"""Deterministic fault injection for the update engine.
+
+Every abort path in :mod:`repro.dsu.engine` must leave the VM running the
+old version — that is the paper's whole pitch, and it is only testable if
+each failure mode can be triggered on demand. A :class:`FaultPlan` names
+the faults to inject; the engine consults its :class:`FaultInjector` at
+well-defined hook points, one per update phase:
+
+* **safepoint** — report a synthetic blocker for the first N world-stops
+  (or forever), driving the retry/backoff policy and, eventually, the
+  timeout abort.
+* **classload** — raise after K classes have been installed, leaving the
+  metadata half-renamed so rollback has real work to undo.
+* **osr** — fail on-stack replacement even for replaceable frames.
+* **gc** — force a ``MemoryError`` once the update collection has copied
+  K objects (a mid-copy OOM with live forwarding pointers in from-space).
+* **transform** — raise from the Kth object transformer, or simulate the
+  §3.4 transformer cycle.
+
+All counters run on the simulated execution, so injected failures are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .specification import (
+    PHASE_CLASSLOAD,
+    PHASE_OSR,
+    PHASE_SAFEPOINT,
+    PHASE_TRANSFORM,
+    REASON_INJECTED_FAULT,
+)
+
+
+class InjectedFault(Exception):
+    """Raised by a fault hook; carries the phase it fired in."""
+
+    def __init__(self, phase: str, message: str):
+        super().__init__(message)
+        self.phase = phase
+        self.reason_code = REASON_INJECTED_FAULT
+
+
+@dataclass
+class FaultPlan:
+    """Which faults to inject, and where. ``None`` disables a fault."""
+
+    #: report a synthetic safe-point blocker for this many world-stops
+    block_safepoint_stops: Optional[int] = None
+    #: never reach a safe point (forces the timeout/retry machinery)
+    block_safepoint_forever: bool = False
+    #: raise after this many classes have been installed (0 = before any)
+    classload_fail_after: Optional[int] = None
+    #: fail every OSR attempt (regular and extended)
+    osr_fail: bool = False
+    #: raise MemoryError once the update GC has copied this many objects
+    gc_oom_after_copies: Optional[int] = None
+    #: raise from the Nth object-transformer invocation (0-based)
+    transformer_raise_at: Optional[int] = None
+    #: simulate an ill-defined transformer cycle on the Nth invocation
+    transformer_cycle_at: Optional[int] = None
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`FaultPlan` for one (or more)
+    update attempts. Attach via ``engine.fault_injector = FaultInjector(plan)``."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.safepoint_blocks = 0
+        self.classes_installed = 0
+        self.transforms_seen = 0
+        #: human-readable log of every fault that actually fired
+        self.fired: List[str] = []
+
+    # ------------------------------------------------------------------
+    # hooks, one per phase
+
+    def blocks_safepoint(self) -> bool:
+        """True while the injected blocker should keep the VM from reaching
+        a DSU safe point."""
+        if self.plan.block_safepoint_forever:
+            self.fired.append("safepoint: blocked (forever)")
+            return True
+        if (
+            self.plan.block_safepoint_stops is not None
+            and self.safepoint_blocks < self.plan.block_safepoint_stops
+        ):
+            self.safepoint_blocks += 1
+            self.fired.append(
+                f"safepoint: blocked ({self.safepoint_blocks}"
+                f"/{self.plan.block_safepoint_stops})"
+            )
+            return True
+        return False
+
+    def on_class_installed(self, name: str) -> None:
+        self.classes_installed += 1
+        fail_after = self.plan.classload_fail_after
+        if fail_after is not None and self.classes_installed > fail_after:
+            self.fired.append(f"classload: raised installing {name}")
+            raise InjectedFault(
+                PHASE_CLASSLOAD,
+                f"injected classload failure installing {name} "
+                f"(after {fail_after} classes)",
+            )
+
+    def on_osr(self, qualified_name: str) -> None:
+        if self.plan.osr_fail:
+            self.fired.append(f"osr: refused {qualified_name}")
+            raise InjectedFault(
+                PHASE_OSR, f"injected OSR failure replacing {qualified_name}"
+            )
+
+    def gc_oom_threshold(self) -> Optional[int]:
+        """Copy-count threshold handed to the collector (None = no fault)."""
+        if self.plan.gc_oom_after_copies is not None:
+            self.fired.append(
+                f"gc: oom armed at {self.plan.gc_oom_after_copies} copies"
+            )
+        return self.plan.gc_oom_after_copies
+
+    def on_transform_object(self, address: int) -> None:
+        index = self.transforms_seen
+        self.transforms_seen += 1
+        if self.plan.transformer_raise_at is not None and (
+            index == self.plan.transformer_raise_at
+        ):
+            self.fired.append(f"transform: raised at object #{index}")
+            raise InjectedFault(
+                PHASE_TRANSFORM,
+                f"injected transformer failure at object #{index}",
+            )
+        if self.plan.transformer_cycle_at is not None and (
+            index == self.plan.transformer_cycle_at
+        ):
+            # Imported here to avoid a module cycle with the engine.
+            from .engine import TransformerCycleError
+
+            self.fired.append(f"transform: cycle at object #{index}")
+            raise TransformerCycleError(
+                f"injected transformer cycle at object #{index} "
+                "(ill-defined transformer functions, paper §3.4)"
+            )

@@ -20,6 +20,44 @@ from .specification import MethodKey, UpdateSpecification
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.vm import VM
 
+DEFAULT_TIMEOUT_MS = 15_000.0  # the paper's 15 s window (§3.3)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded safe-point acquisition: ``retries`` extra rounds after the
+    first, each round's deadline growing by ``backoff``.
+
+    Round ``k`` (0-based) waits ``timeout_ms * backoff**k`` simulated ms
+    for a DSU safe point. When a round expires with the update still
+    blocked, the engine re-arms the yield flag and starts the next round
+    instead of aborting; only the final round's expiry aborts. All waiting
+    happens on the simulated clock, so the schedule is deterministic.
+    """
+
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    retries: int = 0
+    backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    @property
+    def rounds(self) -> int:
+        return self.retries + 1
+
+    def round_timeout_ms(self, round_index: int) -> float:
+        """Deadline extension for round ``round_index`` (0-based)."""
+        return self.timeout_ms * (self.backoff ** round_index)
+
+    def total_budget_ms(self) -> float:
+        return sum(self.round_timeout_ms(k) for k in range(self.rounds))
+
 
 @dataclass
 class RestrictedSets:

@@ -15,6 +15,54 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 MethodKey = Tuple[str, str, str]  # (class, name, descriptor)
 
 
+# ---------------------------------------------------------------------------
+# Update phases and abort reasons.
+#
+# Every update attempt moves through the phases below in order; an abort is
+# always attributed to exactly one (phase, reason) pair so the harness can
+# report *why* an update failed, not just that it did. The engine guarantees
+# that an abort in any phase rolls the VM back to the pre-update state (see
+# :mod:`repro.dsu.transaction`) — no failure path halts the VM.
+
+PHASE_SAFEPOINT = "safepoint"    # waiting for a DSU safe point
+PHASE_CLASSLOAD = "classload"    # installing renamed/new class metadata
+PHASE_OSR = "osr"                # on-stack replacement of active frames
+PHASE_GC = "gc"                  # the whole-heap update collection
+PHASE_TRANSFORM = "transform"    # class/object transformer execution
+PHASE_CLEANUP = "cleanup"        # retiring old statics and transformers
+
+UPDATE_PHASES = (
+    PHASE_SAFEPOINT,
+    PHASE_CLASSLOAD,
+    PHASE_OSR,
+    PHASE_GC,
+    PHASE_TRANSFORM,
+    PHASE_CLEANUP,
+)
+
+REASON_TIMEOUT = "timeout"                      # no safe point in the window
+REASON_BLACKLISTED = "blacklisted"              # category-3 method never left
+REASON_OSR_FAILED = "osr-failed"                # un-replaceable active frame
+REASON_CLASSLOAD_FAILED = "classload-failed"    # metadata install blew up
+REASON_OOM = "oom"                              # heap exhausted mid-update
+REASON_TRANSFORMER_CYCLE = "transformer-cycle"  # ill-defined transformers
+REASON_TRANSFORMER_ERROR = "transformer-error"  # transformer raised/trapped
+REASON_INJECTED_FAULT = "injected-fault"        # repro.dsu.faults harness
+REASON_INTERNAL_ERROR = "internal-error"        # unexpected engine exception
+
+ABORT_REASONS = (
+    REASON_TIMEOUT,
+    REASON_BLACKLISTED,
+    REASON_OSR_FAILED,
+    REASON_CLASSLOAD_FAILED,
+    REASON_OOM,
+    REASON_TRANSFORMER_CYCLE,
+    REASON_TRANSFORMER_ERROR,
+    REASON_INJECTED_FAULT,
+    REASON_INTERNAL_ERROR,
+)
+
+
 @dataclass
 class ClassChangeSummary:
     """Per-class change counts (one row contribution in Tables 2–4)."""

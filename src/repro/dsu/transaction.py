@@ -1,0 +1,248 @@
+"""The update transaction: snapshot and rollback of mutable update state.
+
+The paper's contract is that a failed update leaves the program running the
+*old* version ("a configurable timeout aborts the update", §3.3). Reaching
+a DSU safe point is trivially abortable — nothing has been touched yet —
+but the apply path mutates a lot of VM state: class metadata is renamed,
+method entries are re-owned and re-keyed, TIBs and compiled code are
+invalidated, JTOC slots are allocated, frames are OSR-replaced, and the
+update collection rewrites every root.
+
+:class:`UpdateTransaction` captures all of that *before* the first mutation
+and can restore it exactly. Two properties make the restore cheap:
+
+1. **Metadata is small.** Class records, method entries, TIB tables, frame
+   registers and the JTOC are Python-level structures; shallow copies of
+   the mutable bits cost microseconds and restoring them is assignment.
+
+2. **The semi-space GC is naturally transactional.** The update collection
+   copies the heap from from-space into to-space and only ever *writes*
+   from-space status headers (forwarding pointers). The data cells of every
+   old-version object survive untouched in from-space until the next
+   collection. Aborting after (or during) the update GC therefore does not
+   need a heap image: roll the roots back to their saved from-space
+   addresses, un-flip the space pointers, and zero the forwarding words.
+   Everything the transformers did happened in to-space and simply becomes
+   unreachable scribble.
+
+Known limitation (documented in docs/INTERNALS.md): user code executed
+*during* the update window — ``<clinit>`` of freshly installed classes and
+transformer bodies — can in principle write fields of pre-existing heap
+objects. Static writes are undone (the JTOC is snapshotted) and transformer
+writes land in to-space (discarded by the un-flip), but a ``<clinit>`` that
+mutates an old object's instance field before the collection leaves that
+write behind. The paper's update model gives transformers, not clinits,
+the job of touching old state, so this matches Jvolve's own guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..vm.heap import HEADER_STATUS, HEADER_TIB
+from ..vm.objectmodel import ARRAY_ELEMS_OFFSET, ARRAY_LENGTH_OFFSET
+from ..vm.rvmclass import RVMClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.vm import VM
+
+
+class _ClassRecord:
+    """Mutable per-class state the installer touches."""
+
+    __slots__ = (
+        "rvmclass", "name", "obsolete", "classfile",
+        "tib_slot_index", "tib_code", "tib_methods",
+    )
+
+    def __init__(self, rvmclass: RVMClass):
+        self.rvmclass = rvmclass
+        self.name = rvmclass.name
+        self.obsolete = rvmclass.obsolete
+        self.classfile = rvmclass.classfile
+        self.tib_slot_index = dict(rvmclass.tib.slot_index)
+        self.tib_code = list(rvmclass.tib.code)
+        self.tib_methods = list(rvmclass.tib.methods)
+
+    def restore(self) -> None:
+        rvmclass = self.rvmclass
+        rvmclass.name = self.name
+        rvmclass.obsolete = self.obsolete
+        rvmclass.classfile = self.classfile
+        rvmclass.tib.slot_index = self.tib_slot_index
+        rvmclass.tib.code = self.tib_code
+        rvmclass.tib.methods = self.tib_methods
+
+
+class _EntryRecord:
+    """Mutable per-method-entry state the installer touches."""
+
+    __slots__ = (
+        "entry", "owner", "info", "base_code", "opt_code",
+        "invocations", "bytecode_version", "obsolete",
+    )
+
+    def __init__(self, entry):
+        self.entry = entry
+        self.owner = entry.owner
+        self.info = entry.info
+        self.base_code = entry.base_code
+        self.opt_code = entry.opt_code
+        self.invocations = entry.invocations
+        self.bytecode_version = entry.bytecode_version
+        self.obsolete = entry.obsolete
+
+    def restore(self) -> None:
+        entry = self.entry
+        entry.owner = self.owner
+        entry.info = self.info
+        entry.base_code = self.base_code
+        entry.opt_code = self.opt_code
+        entry.invocations = self.invocations
+        entry.bytecode_version = self.bytecode_version
+        entry.obsolete = self.obsolete
+
+
+class _FrameRecord:
+    """Registers of one activation frame (pre-OSR, pre-GC)."""
+
+    __slots__ = ("frame", "code", "pc", "locals", "stack",
+                 "entered_at_version", "return_barrier")
+
+    def __init__(self, frame):
+        self.frame = frame
+        self.code = frame.code
+        self.pc = frame.pc
+        self.locals = list(frame.locals)
+        self.stack = list(frame.stack)
+        self.entered_at_version = frame.entered_at_version
+        self.return_barrier = frame.return_barrier
+
+    def restore(self) -> None:
+        frame = self.frame
+        frame.code = self.code
+        frame.pc = self.pc
+        frame.locals = self.locals
+        frame.stack = self.stack
+        frame.entered_at_version = self.entered_at_version
+        frame.return_barrier = self.return_barrier
+
+
+class UpdateTransaction:
+    """Snapshot of everything an update mutates, taken at the DSU safe
+    point with the world stopped, plus the inverse operation."""
+
+    def __init__(self, vm: "VM"):
+        self.vm = vm
+        self.rolled_back = False
+        #: set (via :meth:`note_gc_started`) once the update collection has
+        #: begun writing forwarding pointers; rollback must then scrub them
+        self.gc_started = False
+
+        # --- class/method metadata -----------------------------------
+        self.classfiles = dict(vm.classfiles)
+        self.registry_len = len(vm.registry.by_id)
+        self.registry_by_name = dict(vm.registry.by_name)
+        self.class_records = [_ClassRecord(c) for c in vm.registry.by_id]
+        self.entries_len = len(vm.methods.entries)
+        self.methods_by_key = dict(vm.methods._by_key)
+        self.entry_records = [_EntryRecord(e) for e in vm.methods.entries]
+
+        # --- roots ----------------------------------------------------
+        self.jtoc_len = len(vm.jtoc.cells)
+        self.jtoc_cells = list(vm.jtoc.cells)
+        self.literal_interns = dict(vm.literal_interns)
+        self.native_roots: List[Tuple[list, List[int]]] = [
+            (box, list(box)) for box in vm.native_roots
+        ]
+        self.extra_roots: List[Tuple[list, List[int]]] = [
+            (box, list(box)) for box in vm.extra_roots
+        ]
+        self.frame_records = [
+            _FrameRecord(frame)
+            for thread in vm.threads
+            for frame in thread.frames
+        ]
+
+        # --- heap pointers -------------------------------------------
+        heap = vm.heap
+        self.heap_space = heap.current_space
+        self.heap_bump = heap.bump
+        self.heap_ceiling = heap.ceiling
+
+    # ------------------------------------------------------------------
+
+    def note_gc_started(self) -> None:
+        self.gc_started = True
+
+    def rollback(self) -> None:
+        """Restore the snapshot. Idempotent; safe in any phase."""
+        if self.rolled_back:
+            return
+        vm = self.vm
+
+        # Metadata first, so heap headers resolve to old-version classes.
+        for record in self.class_records:
+            record.restore()
+        del vm.registry.by_id[self.registry_len:]
+        vm.registry.by_name.clear()
+        vm.registry.by_name.update(self.registry_by_name)
+        for record in self.entry_records:
+            record.restore()
+        del vm.methods.entries[self.entries_len:]
+        vm.methods._by_key.clear()
+        vm.methods._by_key.update(self.methods_by_key)
+        vm.classfiles.clear()
+        vm.classfiles.update(self.classfiles)
+
+        # Roots.
+        del vm.jtoc.cells[self.jtoc_len:]
+        del vm.jtoc.is_ref[self.jtoc_len:]
+        del vm.jtoc.labels[self.jtoc_len:]
+        vm.jtoc.cells[:] = self.jtoc_cells
+        vm.literal_interns.clear()
+        vm.literal_interns.update(self.literal_interns)
+        for box, values in self.native_roots:
+            box[:] = values
+        for box, values in self.extra_roots:
+            box[:] = values
+        for record in self.frame_records:
+            record.restore()
+
+        # Heap: un-flip to the pre-update space, then scrub the forwarding
+        # pointers the (possibly partial) update collection left in the
+        # status headers of from-space objects.
+        heap = vm.heap
+        heap.current_space = self.heap_space
+        heap.bump = self.heap_bump
+        heap.ceiling = self.heap_ceiling
+        if self.gc_started:
+            self._scrub_forwarding_words()
+        self.rolled_back = True
+
+    # ------------------------------------------------------------------
+
+    def _scrub_forwarding_words(self) -> None:
+        """Walk the (restored) current space linearly and zero every status
+        header. Object data cells were never written by the collection, so
+        class ids and array lengths still parse; only the status words hold
+        forwarding-pointer scribble."""
+        vm = self.vm
+        heap = vm.heap
+        address = heap.space_start
+        end = self.heap_bump
+        registry = vm.registry
+        while address < end:
+            rvmclass = registry.by_class_id(heap.cells[address + HEADER_TIB])
+            heap.cells[address + HEADER_STATUS] = 0
+            address += _object_cells(heap, rvmclass, address)
+
+
+def _object_cells(heap, rvmclass: RVMClass, address: int) -> int:
+    from ..vm.heap import HEADER_CELLS
+
+    if rvmclass.kind == RVMClass.KIND_ARRAY:
+        return ARRAY_ELEMS_OFFSET + heap.cells[address + ARRAY_LENGTH_OFFSET]
+    if rvmclass.kind == RVMClass.KIND_STRING:
+        return HEADER_CELLS + 1
+    return rvmclass.instance_cells

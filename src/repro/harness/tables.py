@@ -198,6 +198,9 @@ def run_single_update(
             + (" (idle-only)" if expected.idle_only else "")
             + ("" if matches else "  ** MISMATCH **")
         )
+    if outcome.abort_why:
+        outcome.notes = (outcome.notes + "  " if outcome.notes else "") + \
+            f"[{outcome.abort_why}]"
     return outcome
 
 
@@ -218,14 +221,15 @@ def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
         f"(paper: 20 of 22); method-body-only systems could support "
         f"{body_only} (paper: 9)",
         f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
-        f"{'pause(ms)':>10s} {'objs':>6s}  notes",
+        f"{'why':>22s} {'pause(ms)':>10s} {'objs':>6s}  notes",
     ]
     for o in outcomes:
         update = f"{o.from_version}->{o.to_version}"
         pause = f"{o.result.total_pause_ms:.1f}" if o.result.succeeded else "-"
+        why = o.abort_why or "-"
         lines.append(
             f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
-            f"{o.mechanism:>16s} {pause:>10s} "
+            f"{o.mechanism:>16s} {why:>22s} {pause:>10s} "
             f"{o.result.objects_transformed:>6d}  {o.notes}"
         )
     return "\n".join(lines)

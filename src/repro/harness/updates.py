@@ -44,6 +44,33 @@ class AppUpdateOutcome:
             parts.append(f"osr({self.result.osr_frames})")
         return "+".join(parts) if parts else "immediate"
 
+    # -- abort attribution (the "why", not just the "that") -------------
+
+    @property
+    def abort_phase(self) -> str:
+        """Update phase the abort happened in (``""`` when applied)."""
+        return self.result.failed_phase
+
+    @property
+    def abort_reason_code(self) -> str:
+        """Machine-readable abort category (``""`` when applied)."""
+        return self.result.reason_code
+
+    @property
+    def retry_rounds(self) -> int:
+        """Safe-point acquisition rounds used beyond the first."""
+        return self.result.retry_rounds
+
+    @property
+    def abort_why(self) -> str:
+        """Compact ``phase/reason`` attribution for table rendering."""
+        if self.result.succeeded:
+            return ""
+        why = f"{self.abort_phase}/{self.abort_reason_code}"
+        if self.retry_rounds:
+            why += f" after {self.retry_rounds + 1} rounds"
+        return why
+
 
 class AppDriver:
     """Boots one application version on a fresh VM and applies updates."""
@@ -99,13 +126,20 @@ class AppDriver:
         )
 
     def request_update_at(
-        self, time_ms: float, to_version: str, timeout_ms: float = 15_000.0
+        self,
+        time_ms: float,
+        to_version: str,
+        timeout_ms: float = 15_000.0,
+        retries: int = 0,
+        backoff: float = 2.0,
     ) -> Dict[str, UpdateResult]:
         prepared = self.prepare(to_version)
         holder: Dict[str, UpdateResult] = {}
 
         def fire():
-            holder["result"] = self.engine.request_update(prepared, timeout_ms)
+            holder["result"] = self.engine.request_update(
+                prepared, timeout_ms, retries=retries, backoff=backoff
+            )
 
         self.vm.events.schedule(time_ms, fire)
         return holder

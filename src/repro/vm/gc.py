@@ -66,6 +66,7 @@ class SemiSpaceCollector:
         self,
         update_map: Optional[Dict[int, RVMClass]] = None,
         separate_old_copies: bool = False,
+        oom_at_copy: Optional[int] = None,
     ) -> GCStats:
         """Run one full collection. ``update_map`` maps *old* class ids of
         updated classes to their new RVMClass (DSU mode).
@@ -75,6 +76,11 @@ class SemiSpaceCollector:
         then reclaim them in O(1) after the transformers run, instead of
         waiting for the next collection (paper §3.4's suggested
         optimization).
+
+        ``oom_at_copy`` is the fault-injection hook used by
+        :mod:`repro.dsu.faults`: raise :class:`MemoryError` once this many
+        objects have been copied, exactly as a genuine to-space overflow
+        would, so abort/rollback paths can be exercised deterministically.
         """
         vm = self.vm
         heap = vm.heap
@@ -147,6 +153,11 @@ class SemiSpaceCollector:
             status = heap.cells[address + HEADER_STATUS]
             if status != 0:
                 return status  # forwarding pointer
+            if oom_at_copy is not None and stats.objects_copied >= oom_at_copy:
+                raise MemoryError(
+                    f"injected to-space overflow after {stats.objects_copied} "
+                    "object copies"
+                )
             rvmclass = vm.registry.by_class_id(heap.cells[address + HEADER_TIB])
             size = _object_size(objects, rvmclass, address)
             new_class = update_map.get(rvmclass.id)

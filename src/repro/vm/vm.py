@@ -164,11 +164,15 @@ class VM:
             self.literal_interns[text] = address
         return address
 
-    def collect(self, update_map=None, separate_old_copies=False):
+    def collect(self, update_map=None, separate_old_copies=False,
+                oom_at_copy=None):
         """Run a stop-the-world collection. All threads are at safe points
         by construction (cooperative scheduling parks them at yield points;
-        the running thread triggers GC only at allocation instructions)."""
-        return self.collector.collect(update_map, separate_old_copies)
+        the running thread triggers GC only at allocation instructions).
+        ``oom_at_copy`` forwards the DSU fault-injection threshold (see
+        :meth:`repro.vm.gc.SemiSpaceCollector.collect`)."""
+        return self.collector.collect(update_map, separate_old_copies,
+                                      oom_at_copy=oom_at_copy)
 
     # ------------------------------------------------------------------
     # DSU callbacks used by the interpreter

@@ -173,8 +173,26 @@ class TestCycleDetection:
         result = holder["result"]
         assert result.status == "aborted"
         assert "cycle" in result.reason
-        # The heap is half-transformed: the VM halts rather than resuming.
-        assert fixture.vm.halted
+        assert result.failed_phase == "transform"
+        assert result.reason_code == "transformer-cycle"
+        assert result.rolled_back
+        # The half-transformed heap was rolled back: the VM resumes the
+        # old version instead of halting.
+        assert fixture.vm.halted is False
+        vm = fixture.vm
+        root = vm.registry.get("Root")
+        one = vm.jtoc.read(root.static_slots["a"])
+        # Old layout (x, peer — no `doubled` field) and old values survive.
+        assert [s.name for s in vm.objects.class_of(one).field_layout] == \
+            ["x", "peer"]
+        assert vm.objects.read_field(one, "x") == 1
+        two = vm.objects.read_field(one, "peer")
+        assert vm.objects.read_field(two, "x") == 2
+        assert vm.objects.read_field(two, "peer") == one
+        # The program keeps running to completion on the old version.
+        fixture.run(until_ms=10_000)
+        main = vm.registry.get("Main")
+        assert vm.jtoc.read(main.static_slots["rounds"]) == 40
 
 
 # ---------------------------------------------------------------------------

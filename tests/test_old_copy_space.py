@@ -85,8 +85,9 @@ class TestEagerOldCopyReclaim:
 class TestHeapPressure:
     def test_update_gc_overflow_aborts_cleanly(self):
         # A heap sized so the program runs but the update's double copy
-        # cannot fit: the update aborts with a diagnostic and the VM halts
-        # (the collection cannot be unwound).
+        # cannot fit: the update aborts with a diagnostic, the half-done
+        # collection is rolled back (un-flipped), and the VM keeps running
+        # the old version.
         fixture = UpdateFixture(UPDATE_V1, heap_cells=900)
         fixture.start()
         holder = fixture.update_at(55, UPDATE_V2)
@@ -94,7 +95,17 @@ class TestHeapPressure:
         result = holder["result"]
         assert result.status == "aborted"
         assert "heap exhausted" in result.reason
-        assert fixture.vm.halted
+        assert result.failed_phase == "gc"
+        assert result.reason_code == "oom"
+        assert result.rolled_back
+        assert fixture.vm.halted is False
+        # The old-version heap graph survived the un-flip intact.
+        vm = fixture.vm
+        pool = vm.registry.get("Pool")
+        array = vm.jtoc.read(pool.static_slots["items"])
+        assert vm.objects.array_length(array) == 50
+        item = vm.objects.array_get(array, 0)
+        assert len(vm.objects.class_of(item).field_layout) == 2  # a, b only
 
     def test_same_update_succeeds_with_headroom(self):
         fixture = UpdateFixture(UPDATE_V1, heap_cells=1 << 14)
