@@ -1,0 +1,217 @@
+"""``dsu-lint``: whole-program update-safety analysis.
+
+The runtime (``repro.dsu``) discovers update blockers *dynamically*: a
+restricted method on a stack delays the safe point, a mistyped
+transformer aborts the transform phase, and the developer learns why only
+after the retry budget burns down. This package runs the same decisions
+statically, over a :class:`~repro.dsu.upt.PreparedUpdate` and the old
+program's class files, before the VM is ever signalled.
+
+Four passes share one bytecode call graph:
+
+1. **call graph** (:mod:`.callgraph`) — INVOKESTATIC/INVOKESPECIAL via
+   the superclass chain, INVOKEVIRTUAL via class-hierarchy analysis;
+2. **restriction closure** (:mod:`.closure`) — categories 1–3 plus a
+   static replay of the opt tier's inliner, yielding a provable
+   over-approximation of the runtime restricted sets, and a staleness
+   cross-check of the spec's category-2 set;
+3. **safe-point reachability** (:mod:`.reachability`) — restricted
+   methods that can never leave the stack, with ranked blacklist
+   suggestions;
+4. **transformer type checking** (:mod:`.transformers`) — abstract
+   interpretation of ``jvolveObject``/``jvolveClass`` against the
+   reconstructed transform-time class table.
+
+:func:`analyze_update` is the single entry point; ``repro.dsu.validation``
+and the ``dsu-lint`` CLI subcommand are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..bytecode.classfile import ClassFile
+from ..compiler.compile import compile_prelude
+from ..dsu.upt import PreparedUpdate
+from .callgraph import CallGraph, UnresolvedCall, build_call_graph
+from .closure import RestrictionClosure, compute_closure, recompute_category2
+from .reachability import (
+    BLOCKING_NATIVES,
+    check_reachability,
+    method_may_never_return,
+    never_return_closure,
+)
+from .report import (
+    AnalysisReport,
+    CODE_BAD_MAPPING,
+    CODE_BOGUS_BLACKLIST,
+    CODE_EMPTY_UPDATE,
+    CODE_UNRESOLVED_CALL,
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    format_method,
+)
+from .transformers import build_transform_table, check_transformers
+
+__all__ = [
+    "AnalysisReport",
+    "BLOCKING_NATIVES",
+    "CallGraph",
+    "Diagnostic",
+    "RestrictionClosure",
+    "UnresolvedCall",
+    "analyze_update",
+    "build_call_graph",
+    "build_transform_table",
+    "check_reachability",
+    "check_transformers",
+    "compute_closure",
+    "format_method",
+    "method_may_never_return",
+    "never_return_closure",
+    "recompute_category2",
+]
+
+
+def _check_spec(
+    old_classfiles: Dict[str, ClassFile], prepared: PreparedUpdate
+) -> List[Diagnostic]:
+    """The specification-plausibility checks inherited from the original
+    ``dsu/validation.py``: bogus blacklist entries, unusable active-method
+    mappings, and the empty update."""
+    diagnostics: List[Diagnostic] = []
+    spec = prepared.spec
+
+    for class_name, method_name, descriptor in sorted(spec.blacklist):
+        classfile = old_classfiles.get(class_name)
+        if classfile is None or classfile.get_method(
+            method_name, descriptor
+        ) is None:
+            diagnostics.append(
+                Diagnostic(
+                    CODE_BOGUS_BLACKLIST,
+                    SEVERITY_WARNING,
+                    f"blacklisted method "
+                    f"{class_name}.{method_name}{descriptor} "
+                    f"does not exist in the old program",
+                )
+            )
+
+    for key, mapping in prepared.active_method_mappings.items():
+        class_name, method_name, descriptor = key
+        if key not in spec.category1():
+            diagnostics.append(
+                Diagnostic(
+                    CODE_BAD_MAPPING,
+                    SEVERITY_WARNING,
+                    f"active-method mapping for {class_name}.{method_name} "
+                    f"is useless: the method is not a changed (category-1) "
+                    f"method",
+                )
+            )
+            continue
+        new_cf = prepared.new_classfiles.get(class_name)
+        new_method = (
+            new_cf.get_method(method_name, descriptor) if new_cf else None
+        )
+        if new_method is None:
+            diagnostics.append(
+                Diagnostic(
+                    CODE_BAD_MAPPING,
+                    SEVERITY_WARNING,
+                    f"active-method mapping target {class_name}.{method_name}"
+                    f"{descriptor} does not exist in the new program",
+                )
+            )
+            continue
+        limit = len(new_method.instructions)
+        bad = [pc for pc in mapping.pc_map.values() if not 0 <= pc < limit]
+        if bad:
+            diagnostics.append(
+                Diagnostic(
+                    CODE_BAD_MAPPING,
+                    SEVERITY_WARNING,
+                    f"active-method mapping for {class_name}.{method_name} "
+                    f"has out-of-range target pcs {bad} (new body has "
+                    f"{limit} instructions)",
+                )
+            )
+
+    totals = spec.totals()
+    if not any((
+        spec.class_updates, spec.added_classes, spec.deleted_classes,
+        spec.method_body_updates, totals["methods_added"],
+    )):
+        diagnostics.append(
+            Diagnostic(
+                CODE_EMPTY_UPDATE,
+                SEVERITY_WARNING,
+                "the update changes nothing",
+            )
+        )
+    return diagnostics
+
+
+_UNRESOLVED_REPORT_CAP = 10
+
+
+def analyze_update(
+    old_classfiles: Dict[str, ClassFile], prepared: PreparedUpdate
+) -> AnalysisReport:
+    """Run all four analyzer passes over one prepared update.
+
+    ``old_classfiles`` is the running (old) program; the prelude is merged
+    in automatically so calls into ``Sys``/``Net``/``Str`` resolve the way
+    the JIT resolves them.
+    """
+    report = AnalysisReport(prepared.old_version, prepared.new_version)
+    spec = prepared.spec
+
+    program: Dict[str, ClassFile] = dict(compile_prelude())
+    program.update(old_classfiles)
+
+    # Pass 1: call graph. Unresolved sites are informational — the graph
+    # keeps them so reachability treats the callers conservatively, and
+    # the dedicated tests assert on ``graph.unresolved`` directly.
+    graph = build_call_graph(program)
+    for unresolved in graph.unresolved[:_UNRESOLVED_REPORT_CAP]:
+        report.add(
+            Diagnostic(
+                CODE_UNRESOLVED_CALL,
+                SEVERITY_INFO,
+                f"call graph: {unresolved.describe()} does not resolve "
+                f"against the old program; edges from "
+                f"{format_method(unresolved.caller)} are incomplete",
+                method=unresolved.caller,
+            )
+        )
+    if len(graph.unresolved) > _UNRESOLVED_REPORT_CAP:
+        report.add(
+            Diagnostic(
+                CODE_UNRESOLVED_CALL,
+                SEVERITY_INFO,
+                f"call graph: {len(graph.unresolved)} unresolved call "
+                f"site(s) in total (first {_UNRESOLVED_REPORT_CAP} shown)",
+            )
+        )
+
+    # Pass 2: restriction closure + category-2 staleness.
+    closure, closure_diagnostics = compute_closure(program, spec, graph)
+    report.extend(closure_diagnostics)
+    report.predicted_restricted = closure.predicted
+
+    # Pass 3: safe-point reachability.
+    reach_diagnostics, suggestions = check_reachability(
+        graph, closure, spec, prepared.active_method_mappings
+    )
+    report.extend(reach_diagnostics)
+    report.blacklist_suggestions = suggestions
+
+    # Pass 4: transformer presence, coverage, and type checking.
+    report.extend(check_transformers(old_classfiles, prepared))
+
+    # Specification plausibility (validation.py heritage).
+    report.extend(_check_spec(old_classfiles, prepared))
+    return report

@@ -1,0 +1,147 @@
+"""Static restriction closure.
+
+At runtime, :mod:`repro.dsu.safepoint` restricts three method categories
+(changed/deleted bytecode, stale baked offsets, blacklist) *plus* any
+method whose opt-compiled code inlined a restricted method. This pass
+computes the same sets ahead of time, from class files alone:
+
+* categories 1–3 come straight from the update specification;
+* the **inlining closure** re-runs the opt tier's actual inliner
+  (:func:`repro.vm.inlining.inline_method` — a pure function of the class
+  files, honoring ``INLINE_MAX_INSTRUCTIONS``/``INLINE_MAX_DEPTH``) over
+  every old-program method, so the predicted host set is *identical* to
+  what any runtime opt-compile could produce and therefore provably
+  over-approximates the runtime scan, which only sees hosts that happened
+  to get hot;
+* category 2 is independently **recomputed** from the old class files and
+  compared against the spec, catching stale serialized specifications
+  whose restricted sets no longer match the code they ship with (an
+  under-restricted spec lets the runtime update methods whose compiled
+  callers still bake dead offsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..bytecode.classfile import ClassFile
+from ..dsu.specification import MethodKey, UpdateSpecification
+from ..vm.inlining import inline_method
+from .callgraph import CallGraph
+from .report import (
+    CODE_EXTRA_CATEGORY2,
+    CODE_STALE_CATEGORY2,
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    format_method,
+)
+
+
+@dataclass
+class RestrictionClosure:
+    """The statically predicted restricted sets."""
+
+    #: categories 1+3: changed/deleted bytecode and the blacklist
+    hard: Set[MethodKey] = field(default_factory=set)
+    #: category 2: unchanged bytecode, stale baked offsets
+    recompile: Set[MethodKey] = field(default_factory=set)
+    #: methods whose opt code *would* inline a restricted method, mapped
+    #: to the restricted keys they splice
+    inline_hosts: Dict[MethodKey, Set[MethodKey]] = field(default_factory=dict)
+    #: category 2 derived fresh from the old class files
+    recomputed_category2: Set[MethodKey] = field(default_factory=set)
+
+    @property
+    def predicted(self) -> Set[MethodKey]:
+        """Every method key the runtime scan could treat as restricted."""
+        return self.hard | self.recompile | set(self.inline_hosts)
+
+
+def recompute_category2(
+    old_classfiles: Dict[str, ClassFile], spec: UpdateSpecification
+) -> Set[MethodKey]:
+    """Re-derive the indirect (offset-dependent) methods from bytecode,
+    mirroring :func:`repro.dsu.upt.diff_programs` step by step."""
+    changed = spec.category1()
+    recomputed: Set[MethodKey] = set()
+    for name, classfile in old_classfiles.items():
+        if name in spec.deleted_classes:
+            continue
+        for key, method in classfile.methods.items():
+            method_key: MethodKey = (name, key[0], key[1])
+            if method_key in changed or method.is_native:
+                continue
+            if method.referenced_classes() & spec.class_updates:
+                recomputed.add(method_key)
+    return recomputed
+
+
+def compute_closure(
+    old_classfiles: Dict[str, ClassFile],
+    spec: UpdateSpecification,
+    graph: CallGraph,
+) -> Tuple[RestrictionClosure, List[Diagnostic]]:
+    closure = RestrictionClosure()
+    closure.hard = set(spec.category1() | spec.category3())
+    closure.recompile = set(spec.category2())
+    restricted = closure.hard | closure.recompile
+
+    # Inlining closure: replay the opt tier's inliner on every method and
+    # record hosts whose spliced bodies would contain a restricted method.
+    for class_name, classfile in sorted(old_classfiles.items()):
+        for method in classfile.methods.values():
+            if method.is_native:
+                continue
+            host: MethodKey = (class_name, method.name, method.descriptor)
+            if host in restricted:
+                continue
+            spliced = inline_method(
+                old_classfiles, class_name, method
+            ).inlined
+            hits = spliced & restricted
+            if hits:
+                closure.inline_hosts[host] = hits
+
+    # Staleness check: the spec's category 2 versus a fresh derivation.
+    # Only classes the spec actually diffed participate — the engine-side
+    # class table also holds retired transformer classes and other
+    # post-boot additions the UPT never saw.
+    diffed = set(spec.summaries) | set(spec.deleted_classes)
+    closure.recomputed_category2 = {
+        key for key in recompute_category2(old_classfiles, spec)
+        if key[0] in diffed
+    }
+    diagnostics: List[Diagnostic] = []
+    declared = {key for key in closure.recompile if key[0] in diffed}
+    for key in sorted(closure.recomputed_category2 - declared):
+        diagnostics.append(
+            Diagnostic(
+                CODE_STALE_CATEGORY2,
+                SEVERITY_ERROR,
+                f"stale category-2 set: {format_method(key)} bakes offsets "
+                f"of an updated class but the specification does not "
+                f"restrict it (was the spec file generated from different "
+                f"class files?)",
+                method=key,
+                suggestion=f"regenerate the update specification with the "
+                           f"UPT, or add {format_method(key)} to "
+                           f"indirect_methods",
+            )
+        )
+        # An under-restricted spec is unsafe; make the prediction cover
+        # what the runtime *should* have restricted.
+        closure.recompile.add(key)
+    for key in sorted(declared - closure.recomputed_category2):
+        diagnostics.append(
+            Diagnostic(
+                CODE_EXTRA_CATEGORY2,
+                SEVERITY_INFO,
+                f"specification restricts {format_method(key)} as "
+                f"category 2 but its bytecode references no updated class "
+                f"(over-restriction is safe but delays the safe point)",
+                method=key,
+            )
+        )
+    return closure, diagnostics

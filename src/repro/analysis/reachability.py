@@ -1,0 +1,220 @@
+"""Safe-point reachability.
+
+A DSU safe point needs every restricted method off every stack. The
+runtime can wait (return barriers, retry rounds) — but no amount of
+waiting helps when a restricted method *cannot* leave the stack:
+
+* its own control-flow graph has a reachable region from which no
+  ``RETURN`` is reachable (the ``while (true)`` server loop), or
+* some path calls a method with that property, so the caller's frame is
+  pinned beneath a non-returning callee.
+
+This pass finds those methods in the predicted restricted closure and
+emits the "update never reaches a safe point" diagnostic with a concrete
+blacklist suggestion, ranked by call-graph depth (a rank-0 method is a
+thread entry point — the longest-lived frame on its stack). Restricted
+methods that park inside blocking natives (``Net.accept`` and friends)
+return eventually, but only when traffic obliges; they get a warning.
+Category-2 methods that never return are flagged separately: OSR rescues
+them only while they are still base-compiled, so an opt promotion would
+turn them into hard blockers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from ..bytecode.classfile import MethodInfo
+from ..bytecode.instructions import BRANCH_OPS
+from ..dsu.specification import MethodKey, UpdateSpecification
+from .callgraph import CallGraph
+from .closure import RestrictionClosure
+from .report import (
+    CODE_BLOCKING_NATIVE,
+    CODE_CAT2_NEVER_RETURNS,
+    CODE_UNREACHABLE_SAFEPOINT,
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    format_method,
+)
+
+#: natives that park the calling thread until the outside world acts —
+#: a frame inside one stays on the stack for as long as traffic dictates
+BLOCKING_NATIVES: FrozenSet[str] = frozenset(
+    {"Net.accept", "Net.readLine", "Net.read"}
+)
+
+
+def method_may_never_return(method: MethodInfo) -> bool:
+    """True when the method's CFG has a reachable pc from which no
+    ``RETURN``/``RETURN_VALUE`` is reachable — an inescapable loop.
+
+    Native methods return at the runtime's discretion and trivially have
+    no CFG; they are never flagged here.
+    """
+    if method.is_native or not method.instructions:
+        return False
+    code = method.instructions
+    successors: Dict[int, List[int]] = {}
+    for pc, instr in enumerate(code):
+        if instr.op in ("RETURN", "RETURN_VALUE"):
+            successors[pc] = []
+        elif instr.op == "JUMP":
+            successors[pc] = [instr.a]
+        elif instr.op in BRANCH_OPS:
+            successors[pc] = [instr.a, pc + 1]
+        else:
+            successors[pc] = [pc + 1]
+    valid = lambda pc: 0 <= pc < len(code)
+
+    # Forward reachability from entry.
+    reachable: Set[int] = set()
+    stack = [0]
+    while stack:
+        pc = stack.pop()
+        if pc in reachable or not valid(pc):
+            continue
+        reachable.add(pc)
+        stack.extend(successors[pc])
+
+    # Backward reachability from every return.
+    predecessors: Dict[int, List[int]] = {pc: [] for pc in range(len(code))}
+    for pc, targets in successors.items():
+        for target in targets:
+            if valid(target):
+                predecessors[target].append(pc)
+    returning: Set[int] = set()
+    stack = [
+        pc for pc, instr in enumerate(code)
+        if instr.op in ("RETURN", "RETURN_VALUE")
+    ]
+    while stack:
+        pc = stack.pop()
+        if pc in returning:
+            continue
+        returning.add(pc)
+        stack.extend(predecessors[pc])
+
+    return bool(reachable - returning)
+
+
+def never_return_closure(graph: CallGraph) -> Dict[MethodKey, MethodKey]:
+    """Map every method that may never return to the *culprit*: itself
+    when its own CFG loops forever, else the (transitive) callee that
+    does. A caller is pinned for as long as any callee runs."""
+    culprit: Dict[MethodKey, MethodKey] = {}
+    worklist: List[MethodKey] = []
+    for key in graph.nodes():
+        info = graph.method_info(key)
+        if info is not None and method_may_never_return(info):
+            culprit[key] = key
+            worklist.append(key)
+    while worklist:
+        current = worklist.pop()
+        for caller in graph.callers.get(current, ()):
+            if caller not in culprit:
+                culprit[caller] = culprit[current]
+                worklist.append(caller)
+    return culprit
+
+
+def blocking_native_calls(graph: CallGraph, key: MethodKey) -> Set[str]:
+    """Blocking natives ``key`` may sit inside, directly or transitively."""
+    names = set(graph.natives.get(key, ()) ) & BLOCKING_NATIVES
+    for callee in graph.transitive_callees(key):
+        names |= graph.natives.get(callee, set()) & BLOCKING_NATIVES
+    return names
+
+
+def check_reachability(
+    graph: CallGraph,
+    closure: RestrictionClosure,
+    spec: UpdateSpecification,
+    active_mappings=(),
+) -> tuple:
+    """Returns ``(diagnostics, blacklist_suggestions)``."""
+    diagnostics: List[Diagnostic] = []
+    suggestions: List[MethodKey] = []
+    culprits = never_return_closure(graph)
+    depths = graph.depths()
+
+    def depth_of(key: MethodKey) -> int:
+        return depths.get(key, 1 << 30)
+
+    # Changed methods with an extended-OSR mapping can be replaced while
+    # running (§3.5); they never pin the safe point.
+    mapped = set(active_mappings or ())
+
+    # Hard restrictions (changed bytecode + blacklist): nothing rescues
+    # these frames, so a never-returning one dooms the update.
+    hard_stuck = sorted(
+        (k for k in closure.hard if k in culprits and k not in mapped),
+        key=depth_of,
+    )
+    for key in hard_stuck:
+        culprit = culprits[key]
+        if culprit == key:
+            why = "its own control flow has a loop that never reaches a return"
+        else:
+            why = (
+                f"every frame of it is pinned beneath "
+                f"{format_method(culprit)}, which never returns"
+            )
+        already_blacklisted = key in spec.category3()
+        diagnostics.append(
+            Diagnostic(
+                CODE_UNREACHABLE_SAFEPOINT,
+                SEVERITY_ERROR,
+                f"restricted method {format_method(key)} can never leave "
+                f"the stack: {why}; while its thread runs, no DSU safe "
+                f"point is reachable and the update will burn its whole "
+                f"retry budget before aborting",
+                method=key,
+                suggestion=(
+                    "" if already_blacklisted else
+                    f"blacklist {format_method(key)} (call-graph depth "
+                    f"{depth_of(key)}) to get an immediate, attributable "
+                    f"abort — or restructure the loop to return"
+                ),
+            )
+        )
+        if not already_blacklisted:
+            suggestions.append(key)
+
+    # Hard restrictions parked in blocking natives: they do return, but
+    # only when the outside world sends traffic — under load they are
+    # "nearly always on stack" (the paper's Jetty acceptSocket case).
+    for key in sorted(closure.hard - set(hard_stuck), key=depth_of):
+        natives = blocking_native_calls(graph, key)
+        if natives and key not in mapped:
+            diagnostics.append(
+                Diagnostic(
+                    CODE_BLOCKING_NATIVE,
+                    SEVERITY_WARNING,
+                    f"restricted method {format_method(key)} blocks in "
+                    f"{'/'.join(sorted(natives))}; it is on the stack "
+                    f"whenever the server is waiting for I/O, so the "
+                    f"update only lands in a traffic gap",
+                    method=key,
+                )
+            )
+
+    # Category 2: OSR rescues base-compiled frames, so a never-returning
+    # category-2 method is survivable — unless the adaptive system has
+    # promoted it to the opt tier by the time the update arrives.
+    for key in sorted(
+        (k for k in closure.recompile if k in culprits), key=depth_of
+    ):
+        diagnostics.append(
+            Diagnostic(
+                CODE_CAT2_NEVER_RETURNS,
+                SEVERITY_WARNING,
+                f"category-2 method {format_method(key)} never returns; "
+                f"OSR can rescue it only while it is base-compiled — if "
+                f"the adaptive system opt-compiles it first, it becomes a "
+                f"permanent blocker",
+                method=key,
+            )
+        )
+    return diagnostics, suggestions

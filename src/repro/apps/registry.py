@@ -5,7 +5,7 @@ Experience table, §4)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .crossftp import versions as crossftp
 from .javaemail import versions as javaemail
@@ -91,6 +91,25 @@ EXPECTED_OUTCOMES: List[ExpectedOutcome] = (
         for a, b in update_pairs("crossftp")
     ]
 )
+
+
+#: Updates whose runtime abort the ``dsu-lint`` static analyzer predicts
+#: before the VM is signalled. Both §4 aborts are caught: the changed
+#: ``PoolThread.run``/processor ``run`` methods sit on ``while (true)``
+#: accept loops, so safe-point reachability (DSU-SP01) proves no DSU safe
+#: point exists while their threads run. The CI lint gate and
+#: ``tests/test_harness.py`` assert this set — errors on exactly these
+#: updates, none elsewhere.
+STATIC_PREDICTED_ABORTS: FrozenSet[Tuple[str, str, str]] = frozenset(
+    {
+        ("jetty", "5.1.2", "5.1.3"),
+        ("javaemail", "1.2.4", "1.3"),
+    }
+)
+
+
+def statically_predicted_abort(app: str, from_version: str, to_version: str) -> bool:
+    return (app, from_version, to_version) in STATIC_PREDICTED_ABORTS
 
 
 def expected_outcome(app: str, from_version: str, to_version: str) -> Optional[ExpectedOutcome]:

@@ -82,6 +82,25 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def _parse_transformer_overrides(text: str) -> dict:
+    """Parse a file of per-class replacement method text, separated by
+    lines of the form '=== ClassName'."""
+    overrides: dict = {}
+    current: Optional[str] = None
+    chunks: List[str] = []
+    for line in text.splitlines():
+        if line.startswith("=== "):
+            if current is not None:
+                overrides[current] = "\n".join(chunks)
+            current = line[4:].strip()
+            chunks = []
+        else:
+            chunks.append(line)
+    if current is not None:
+        overrides[current] = "\n".join(chunks)
+    return overrides
+
+
 def cmd_update(args) -> int:
     old_source = _read(args.old)
     new_source = _read(args.new)
@@ -93,21 +112,7 @@ def cmd_update(args) -> int:
     engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier)
     overrides = None
     if args.transformers:
-        # A file holding replacement method text per class, separated by
-        # lines of the form '=== ClassName'.
-        overrides = {}
-        current: Optional[str] = None
-        chunks: List[str] = []
-        for line in _read(args.transformers).splitlines():
-            if line.startswith("=== "):
-                if current is not None:
-                    overrides[current] = "\n".join(chunks)
-                current = line[4:].strip()
-                chunks = []
-            else:
-                chunks.append(line)
-        if current is not None:
-            overrides[current] = "\n".join(chunks)
+        overrides = _parse_transformer_overrides(_read(args.transformers))
     prepared = prepare_update(
         old, new, args.old_version, args.new_version,
         transformer_overrides=overrides,
@@ -130,7 +135,8 @@ def cmd_update(args) -> int:
         return 2
     vm.events.schedule(
         args.at,
-        lambda: engine.request_update(prepared, policy=policy),
+        lambda: engine.request_update(prepared, policy=policy,
+                                      lint=args.dsu_lint),
     )
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
     for line in vm.console:
@@ -152,6 +158,103 @@ def cmd_update(args) -> int:
           + detail,
           file=sys.stderr)
     return 0 if result.succeeded else 1
+
+
+def cmd_dsu_lint(args) -> int:
+    """Static update-safety analysis: predict whether/why an update can
+    land, before any VM is signalled."""
+    import json as json_module
+
+    from .analysis import analyze_update
+    from .dsu.upt import prepare_update as prepare
+
+    # (label, report, expect_errors-or-None) triples.
+    reports = []
+    if args.all_apps or args.app:
+        from .apps.registry import (
+            APPS,
+            STATIC_PREDICTED_ABORTS,
+            update_pairs,
+        )
+        from .harness.updates import AppDriver
+
+        app_names = sorted(APPS) if args.all_apps else [args.app]
+        for app in app_names:
+            if app not in APPS:
+                print(f"unknown app {app!r} (have: {', '.join(sorted(APPS))})",
+                      file=sys.stderr)
+                return 2
+            info = APPS[app]
+            driver = AppDriver(
+                app, info.versions, info.main_class,
+                transformer_overrides=info.transformer_overrides,
+            )
+            pairs = update_pairs(app)
+            if args.from_version or args.to_version:
+                if not (args.from_version and args.to_version):
+                    print("--from-version and --to-version go together",
+                          file=sys.stderr)
+                    return 2
+                pairs = [(args.from_version, args.to_version)]
+            for from_version, to_version in pairs:
+                prepared = driver.prepare_pair(from_version, to_version)
+                report = analyze_update(driver.classfiles(from_version), prepared)
+                reports.append((
+                    f"{app} {from_version}->{to_version}",
+                    report,
+                    (app, from_version, to_version) in STATIC_PREDICTED_ABORTS,
+                ))
+    else:
+        if not (args.old and args.new):
+            print("dsu-lint needs either OLD NEW files or --app/--all-apps",
+                  file=sys.stderr)
+            return 2
+        old = compile_source(_read(args.old), args.old, version=args.old_version)
+        new = compile_source(_read(args.new), args.new, version=args.new_version)
+        overrides = None
+        if args.transformers:
+            overrides = _parse_transformer_overrides(_read(args.transformers))
+        prepared = prepare(
+            old, new, args.old_version, args.new_version,
+            transformer_overrides=overrides,
+        )
+        reports.append((
+            f"{args.old_version}->{args.new_version}",
+            analyze_update(old, prepared),
+            None,
+        ))
+
+    if args.json:
+        payload = [
+            dict(update=label, **report.to_dict())
+            for label, report, _ in reports
+        ]
+        print(json_module.dumps(
+            payload[0] if len(payload) == 1 else payload, indent=2
+        ))
+    else:
+        for label, report, _ in reports:
+            print(f"== {label}")
+            print(report.render())
+
+    if args.check_expected:
+        failures = []
+        for label, report, expect_errors in reports:
+            expect_errors = bool(expect_errors)
+            if report.has_errors and not expect_errors:
+                failures.append(
+                    f"{label}: unexpected error-severity diagnostics "
+                    f"({', '.join(d.code for d in report.errors())})"
+                )
+            elif expect_errors and not report.has_errors:
+                failures.append(
+                    f"{label}: expected a statically predicted abort, "
+                    f"but the analyzer reports no errors"
+                )
+        for failure in failures:
+            print(f"[check-expected] {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 1 if any(report.has_errors for _, report, _ in reports) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,7 +313,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="file of per-class transformer overrides "
                              "separated by '=== ClassName' lines")
     update.add_argument("--auto-read-barrier", action="store_true")
+    update.add_argument("--dsu-lint", choices=("off", "warn", "strict"),
+                        default="off",
+                        help="run the static update-safety analyzer before "
+                             "signalling the VM; 'strict' refuses updates "
+                             "with error-severity diagnostics up front")
     update.set_defaults(fn=cmd_update)
+
+    lint = sub.add_parser(
+        "dsu-lint",
+        help="statically predict whether/why a dynamic update can land "
+             "(call graph, restriction closure, safe-point reachability, "
+             "transformer type checking)",
+    )
+    lint.add_argument("old", nargs="?", default=None)
+    lint.add_argument("new", nargs="?", default=None)
+    lint.add_argument("--old-version", default="1.0")
+    lint.add_argument("--new-version", default="2.0")
+    lint.add_argument("--transformers", default=None,
+                      help="file of per-class transformer overrides "
+                           "separated by '=== ClassName' lines")
+    lint.add_argument("--app", default=None,
+                      help="lint every consecutive update of a bundled app "
+                           "(jetty, javaemail, crossftp)")
+    lint.add_argument("--all-apps", action="store_true",
+                      help="lint every bundled update of every app")
+    lint.add_argument("--from-version", default=None,
+                      help="with --app: lint only this update pair")
+    lint.add_argument("--to-version", default=None)
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (for the CI gate)")
+    lint.add_argument("--check-expected", action="store_true",
+                      help="CI mode: fail unless error diagnostics appear on "
+                           "exactly the updates the registry records as "
+                           "statically predicted aborts")
+    lint.set_defaults(fn=cmd_dsu_lint)
     return parser
 
 

@@ -43,11 +43,13 @@ from .specification import (
     PHASE_CLEANUP,
     PHASE_GC,
     PHASE_OSR,
+    PHASE_PREFLIGHT,
     PHASE_SAFEPOINT,
     PHASE_TRANSFORM,
     REASON_BLACKLISTED,
     REASON_CLASSLOAD_FAILED,
     REASON_INTERNAL_ERROR,
+    REASON_LINT_REJECTED,
     REASON_OOM,
     REASON_OSR_FAILED,
     REASON_TIMEOUT,
@@ -150,6 +152,12 @@ class UpdateResult:
     #: (the §3.5 extended-OSR extension)
     extended_osr_frames: int = 0
     blockers_seen: Set[str] = field(default_factory=set)
+    #: ``dsu-lint`` pre-flight summary, when ``request_update(lint=...)``
+    #: ran the analyzer: error/warning counts and the predicted
+    #: ``"phase/reason"`` abort attribution ("" = predicted to land)
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_predicted_abort: str = ""
     #: pause breakdown in simulated ms: suspend/classload/osr/gc/transform
     phase_ms: Dict[str, float] = field(default_factory=dict)
     objects_transformed: int = 0
@@ -223,6 +231,7 @@ class UpdateEngine:
         retries: int = 0,
         backoff: float = 2.0,
         policy: Optional[RetryPolicy] = None,
+        lint: str = "off",
     ) -> UpdateResult:
         """Signal the VM that an update is available (paper step 2). The
         returned result object is filled in as the update progresses.
@@ -231,7 +240,16 @@ class UpdateEngine:
         round waits ``timeout_ms``; each of the ``retries`` further rounds
         multiplies the previous round's window by ``backoff`` before the
         final abort. Pass ``policy`` to supply the three as one object.
+
+        ``lint`` runs the :mod:`repro.analysis` update-safety analyzer
+        before the VM is signalled: ``"warn"`` records its findings on the
+        result; ``"strict"`` additionally refuses an update with
+        error-severity diagnostics up front — an immediate, attributable
+        pre-flight abort instead of spending the whole retry/backoff
+        budget discovering the same blocker at runtime.
         """
+        if lint not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown lint mode {lint!r}")
         if self.active is not None:
             raise RuntimeError("an update is already in progress")
         if policy is None:
@@ -240,6 +258,24 @@ class UpdateEngine:
         result = UpdateResult(prepared.old_version, prepared.new_version)
         result.requested_at_ms = vm.clock.now_ms
         result.rounds_allowed = policy.rounds
+        if lint != "off":
+            from ..analysis import analyze_update
+
+            report = analyze_update(dict(vm.classfiles), prepared)
+            result.lint_errors = len(report.errors())
+            result.lint_warnings = len(report.warnings())
+            result.lint_predicted_abort = report.predicted_abort
+            if lint == "strict" and report.has_errors:
+                first = report.errors()[0]
+                result.status = ABORTED
+                result.failed_phase = PHASE_PREFLIGHT
+                result.reason_code = REASON_LINT_REJECTED
+                result.reason = (
+                    f"dsu-lint: {result.lint_errors} error(s); first: {first}"
+                )
+                result.finished_at_ms = vm.clock.now_ms
+                self.history.append(result)
+                return result
         sets = resolve_restricted(vm, prepared.spec)
         self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
         self.history.append(result)

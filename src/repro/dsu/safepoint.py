@@ -71,6 +71,10 @@ class RestrictedSets:
     hard_keys: Set[MethodKey] = field(default_factory=set)
     recompile_keys: Set[MethodKey] = field(default_factory=set)
 
+    def all_keys(self) -> Set[MethodKey]:
+        """Every restricted method key, both categories."""
+        return self.hard_keys | self.recompile_keys
+
     def describes(self, entry: MethodEntry) -> Optional[str]:
         if entry.id in self.hard:
             return "changed"
@@ -93,6 +97,24 @@ def resolve_restricted(vm: "VM", spec: UpdateSpecification) -> RestrictedSets:
             sets.recompile.add(entry.id)
             sets.recompile_keys.add(key)
     return sets
+
+
+def observed_restriction_keys(vm: "VM", sets: RestrictedSets) -> Set[MethodKey]:
+    """Every method key the *runtime* currently treats as restricted: the
+    resolved categories plus hosts whose opt-compiled code inlined a
+    restricted method — exactly the keys :func:`scan_stacks` blocks on and
+    the engine's class installation invalidates. The static analyzer's
+    ``predicted_restricted`` set must be a superset of this, whatever the
+    JIT happened to opt-compile."""
+    observed = set(sets.all_keys())
+    restricted = sets.all_keys()
+    for entry in vm.methods.all_entries():
+        opt = entry.opt_code
+        if opt is not None and opt.inlined & restricted:
+            observed.add(
+                (entry.owner.name, entry.info.name, entry.info.descriptor)
+            )
+    return observed
 
 
 @dataclass

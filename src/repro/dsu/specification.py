@@ -24,6 +24,7 @@ MethodKey = Tuple[str, str, str]  # (class, name, descriptor)
 # that an abort in any phase rolls the VM back to the pre-update state (see
 # :mod:`repro.dsu.transaction`) — no failure path halts the VM.
 
+PHASE_PREFLIGHT = "preflight"    # static analysis before the VM is signalled
 PHASE_SAFEPOINT = "safepoint"    # waiting for a DSU safe point
 PHASE_CLASSLOAD = "classload"    # installing renamed/new class metadata
 PHASE_OSR = "osr"                # on-stack replacement of active frames
@@ -32,6 +33,7 @@ PHASE_TRANSFORM = "transform"    # class/object transformer execution
 PHASE_CLEANUP = "cleanup"        # retiring old statics and transformers
 
 UPDATE_PHASES = (
+    PHASE_PREFLIGHT,
     PHASE_SAFEPOINT,
     PHASE_CLASSLOAD,
     PHASE_OSR,
@@ -40,6 +42,7 @@ UPDATE_PHASES = (
     PHASE_CLEANUP,
 )
 
+REASON_LINT_REJECTED = "lint-rejected"          # strict dsu-lint pre-flight
 REASON_TIMEOUT = "timeout"                      # no safe point in the window
 REASON_BLACKLISTED = "blacklisted"              # category-3 method never left
 REASON_OSR_FAILED = "osr-failed"                # un-replaceable active frame
@@ -51,6 +54,7 @@ REASON_INJECTED_FAULT = "injected-fault"        # repro.dsu.faults harness
 REASON_INTERNAL_ERROR = "internal-error"        # unexpected engine exception
 
 ABORT_REASONS = (
+    REASON_LINT_REJECTED,
     REASON_TIMEOUT,
     REASON_BLACKLISTED,
     REASON_OSR_FAILED,

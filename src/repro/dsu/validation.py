@@ -5,6 +5,14 @@ version and fully test it using standard procedures", §2.1); this module
 adds the machine-checkable part: before signalling the VM, lint the
 :class:`~repro.dsu.upt.PreparedUpdate` for mistakes that would otherwise
 surface as aborted updates, default-zero fields, or mid-update failures.
+
+Since the ``dsu-lint`` analyzer (:mod:`repro.analysis`) subsumed every
+check that used to live here, :func:`validate_update` is a thin wrapper:
+it runs the full analysis and flattens the error- and warning-severity
+diagnostics into the historical list-of-strings shape. Callers that want
+severities, diagnostic codes, the predicted restricted set, or the
+blacklist suggestions should call
+:func:`repro.analysis.analyze_update` directly.
 """
 
 from __future__ import annotations
@@ -12,106 +20,19 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..bytecode.classfile import ClassFile
-from .upt import TRANSFORMERS_CLASS, PreparedUpdate, version_prefix
+from .upt import PreparedUpdate
 
 
 def validate_update(
     old_classfiles: Dict[str, ClassFile], prepared: PreparedUpdate
 ) -> List[str]:
     """Return human-readable warnings (empty = clean)."""
-    warnings: List[str] = []
-    spec = prepared.spec
-    prefix = version_prefix(prepared.old_version)
-    transformers = prepared.transformer_classfiles.get(TRANSFORMERS_CLASS)
+    from ..analysis import analyze_update
+    from ..analysis.report import SEVERITY_ERROR, SEVERITY_WARNING
 
-    # 1. Every updated class should have both transformer methods.
-    if transformers is None:
-        warnings.append("no JvolveTransformers class was compiled")
-    else:
-        for name in sorted(spec.class_updates):
-            object_desc = f"(L{name};,L{prefix}{name};)V"
-            if transformers.get_method("jvolveObject", object_desc) is None:
-                warnings.append(
-                    f"updated class {name} has no jvolveObject transformer: "
-                    f"instances will keep only default field values"
-                )
-            if transformers.get_method("jvolveClass", f"(L{name};)V") is None:
-                warnings.append(
-                    f"updated class {name} has no jvolveClass transformer: "
-                    f"its statics will reset to <clinit> values"
-                )
-
-    # 2. Retyped or brand-new fields that the transformer never assigns.
-    if transformers is not None:
-        for name in sorted(spec.class_updates):
-            method = transformers.get_method(
-                "jvolveObject", f"(L{name};,L{prefix}{name};)V"
-            )
-            if method is None:
-                continue
-            assigned = {
-                instr.b
-                for instr in method.instructions
-                if instr.op == "PUTFIELD"
-            }
-            new_cf = prepared.new_classfiles.get(name)
-            old_cf = old_classfiles.get(name)
-            if new_cf is None or old_cf is None:
-                continue
-            old_fields = {f.name: f.descriptor for f in old_cf.instance_fields()}
-            for field_info in new_cf.instance_fields():
-                is_new = field_info.name not in old_fields
-                retyped = (
-                    not is_new
-                    and old_fields[field_info.name] != field_info.descriptor
-                )
-                if (is_new or retyped) and field_info.name not in assigned:
-                    kind = "new" if is_new else "retyped"
-                    warnings.append(
-                        f"{name}.{field_info.name} is {kind} but the object "
-                        f"transformer never assigns it (stays 0/null)"
-                    )
-
-    # 3. Blacklist entries that don't name a method of the old program.
-    for class_name, method_name, descriptor in sorted(spec.blacklist):
-        classfile = old_classfiles.get(class_name)
-        if classfile is None or classfile.get_method(method_name, descriptor) is None:
-            warnings.append(
-                f"blacklisted method {class_name}.{method_name}{descriptor} "
-                f"does not exist in the old program"
-            )
-
-    # 4. Active-method mappings: keys must be changed methods; targets must
-    #    be valid pcs of the new bodies.
-    for key, mapping in prepared.active_method_mappings.items():
-        class_name, method_name, descriptor = key
-        if key not in spec.category1():
-            warnings.append(
-                f"active-method mapping for {class_name}.{method_name} is "
-                f"useless: the method is not a changed (category-1) method"
-            )
-            continue
-        new_cf = prepared.new_classfiles.get(class_name)
-        new_method = new_cf.get_method(method_name, descriptor) if new_cf else None
-        if new_method is None:
-            warnings.append(
-                f"active-method mapping target {class_name}.{method_name}"
-                f"{descriptor} does not exist in the new program"
-            )
-            continue
-        limit = len(new_method.instructions)
-        bad = [pc for pc in mapping.pc_map.values() if not 0 <= pc < limit]
-        if bad:
-            warnings.append(
-                f"active-method mapping for {class_name}.{method_name} has "
-                f"out-of-range target pcs {bad} (new body has {limit} instructions)"
-            )
-
-    # 5. An update with nothing in it.
-    totals = spec.totals()
-    if not any((
-        spec.class_updates, spec.added_classes, spec.deleted_classes,
-        spec.method_body_updates, totals["methods_added"],
-    )):
-        warnings.append("the update changes nothing")
-    return warnings
+    report = analyze_update(old_classfiles, prepared)
+    return [
+        diagnostic.message
+        for diagnostic in report.diagnostics
+        if diagnostic.severity in (SEVERITY_ERROR, SEVERITY_WARNING)
+    ]

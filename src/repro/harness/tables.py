@@ -173,7 +173,12 @@ def run_single_update(
     holder = driver.request_update_at(request_at_ms, to_version, timeout_ms)
     driver.run(until_ms=until_ms)
     result = holder["result"]
-    prepared_spec = driver.prepare_pair(from_version, to_version).spec
+    from ..analysis import analyze_update
+
+    prepared_again = driver.prepare_pair(from_version, to_version)
+    lint_report = analyze_update(
+        driver.classfiles(from_version), prepared_again
+    )
     outcome = AppUpdateOutcome(
         app=app,
         from_version=from_version,
@@ -187,7 +192,8 @@ def run_single_update(
             for s in sessions
             if getattr(s, "done", False) and getattr(s, "failed", None)
         ),
-        body_only_supported=prepared_spec.method_body_only(),
+        body_only_supported=prepared_again.spec.method_body_only(),
+        predicted_abort=lint_report.predicted_abort,
     )
     expected = expected_outcome(app, from_version, to_version)
     if expected is not None:
@@ -216,20 +222,27 @@ def run_experience_sweep(**kwargs) -> List[AppUpdateOutcome]:
 def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
     applied = sum(1 for o in outcomes if o.result.succeeded)
     body_only = sum(1 for o in outcomes if o.body_only_supported and o.result.succeeded)
+    aborted = [o for o in outcomes if not o.result.succeeded]
+    predicted_aborts = sum(1 for o in aborted if o.predicted_abort)
+    agree = sum(1 for o in outcomes if o.prediction_matches)
     lines = [
         f"Experience: {applied} of {len(outcomes)} updates applied "
         f"(paper: 20 of 22); method-body-only systems could support "
-        f"{body_only} (paper: 9)",
+        f"{body_only} (paper: 9); dsu-lint predicted {predicted_aborts} of "
+        f"{len(aborted)} runtime abort(s) statically "
+        f"({agree}/{len(outcomes)} verdicts agree)",
         f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
-        f"{'why':>22s} {'pause(ms)':>10s} {'objs':>6s}  notes",
+        f"{'why':>22s} {'predicted':>18s} {'pause(ms)':>10s} {'objs':>6s}  "
+        f"notes",
     ]
     for o in outcomes:
         update = f"{o.from_version}->{o.to_version}"
         pause = f"{o.result.total_pause_ms:.1f}" if o.result.succeeded else "-"
         why = o.abort_why or "-"
+        predicted = o.predicted_abort or "-"
         lines.append(
             f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
-            f"{o.mechanism:>16s} {why:>22s} {pause:>10s} "
+            f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {pause:>10s} "
             f"{o.result.objects_transformed:>6d}  {o.notes}"
         )
     return "\n".join(lines)

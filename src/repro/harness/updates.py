@@ -30,6 +30,9 @@ class AppUpdateOutcome:
     sessions_failed: int = 0
     #: whether a method-body-only system could apply this update
     body_only_supported: bool = False
+    #: ``dsu-lint``'s static verdict before the update ran: the predicted
+    #: ``"phase/reason"`` abort attribution, or ``""`` = predicted to land
+    predicted_abort: str = ""
     notes: str = ""
 
     @property
@@ -70,6 +73,17 @@ class AppUpdateOutcome:
         if self.retry_rounds:
             why += f" after {self.retry_rounds + 1} rounds"
         return why
+
+    @property
+    def prediction_matches(self) -> bool:
+        """True when the static verdict agrees with the runtime outcome:
+        predicted-to-land updates applied, predicted aborts aborted (the
+        predicted phase/reason need not match the runtime's exactly —
+        e.g. an unreachable safe point may surface as ``blacklisted``
+        once the suggested blacklist entry is adopted)."""
+        if self.result.succeeded:
+            return self.predicted_abort == ""
+        return self.predicted_abort != ""
 
 
 class AppDriver:

@@ -139,3 +139,95 @@ class Main { static void main() { Loop.spin(); } }
         captured = capsys.readouterr()
         assert code == 1
         assert "aborted" in captured.err
+
+    def test_update_strict_lint_refuses_doomed_update(self, tmp_path, capsys):
+        v1 = tmp_path / "s1.jm"
+        v2 = tmp_path / "s2.jm"
+        v1.write_text("""
+class Loop { static int n; static void spin() { while (true) { Sys.sleep(5); n = n + 1; } } }
+class Main { static void main() { Loop.spin(); } }
+""")
+        v2.write_text(v1.read_text().replace("n = n + 1;", "n = n + 2;"))
+        code = main([
+            "update", str(v1), str(v2), "--at", "20",
+            "--timeout-ms", "200", "--until-ms", "1500",
+            "--dsu-lint", "strict",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "phase=preflight" in captured.err
+        assert "lint-rejected" in captured.err
+        assert "dsu-lint" in captured.err
+
+
+SPIN_V1 = """
+class Loop {
+    static int n;
+    static void spin() { while (true) { Sys.sleep(5); n = n + 1; } }
+}
+class Main { static void main() { Loop.spin(); } }
+"""
+
+
+@pytest.fixture
+def doomed_files(tmp_path):
+    old = tmp_path / "spin1.jm"
+    new = tmp_path / "spin2.jm"
+    old.write_text(SPIN_V1)
+    new.write_text(SPIN_V1.replace("n + 1", "n + 2"))
+    return str(old), str(new)
+
+
+class TestDsuLint:
+    def test_clean_pair_exits_zero(self, program_files, capsys):
+        old, new = program_files
+        assert main(["dsu-lint", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "dsu-lint 1.0 -> 2.0" in out
+        assert "no statically-detectable blocker" in out
+
+    def test_doomed_pair_exits_nonzero_with_suggestion(self, doomed_files,
+                                                       capsys):
+        old, new = doomed_files
+        assert main(["dsu-lint", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "DSU-SP01" in out
+        assert "blacklist Loop.spin()V" in out
+        assert "predicted to ABORT (safepoint/timeout)" in out
+
+    def test_json_output_is_machine_readable(self, doomed_files, capsys):
+        import json
+
+        old, new = doomed_files
+        assert main(["dsu-lint", old, new, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["update"] == "1.0->2.0"
+        assert payload["predicted_abort"] == "safepoint/timeout"
+        assert payload["errors"] >= 1
+        assert any(
+            d["code"] == "DSU-SP01" for d in payload["diagnostics"]
+        )
+        assert "Loop.spin()V" in payload["predicted_restricted"]
+
+    def test_app_pair_mode_finds_the_jetty_abort(self, capsys):
+        code = main([
+            "dsu-lint", "--app", "jetty",
+            "--from-version", "5.1.2", "--to-version", "5.1.3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "jetty 5.1.2->5.1.3" in out
+        assert "DSU-SP01" in out
+        assert "PoolThread.run" in out
+
+    def test_check_expected_accepts_a_predicted_abort(self, capsys):
+        code = main([
+            "dsu-lint", "--app", "jetty",
+            "--from-version", "5.1.2", "--to-version", "5.1.3",
+            "--check-expected", "--json",
+        ])
+        assert code == 0
+
+    def test_usage_error_without_inputs(self, capsys):
+        assert main(["dsu-lint"]) == 2
+        assert "needs either" in capsys.readouterr().err

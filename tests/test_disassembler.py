@@ -1,0 +1,76 @@
+"""Tests for the javap-style bytecode listings."""
+
+from repro.bytecode.disassembler import disassemble_class, disassemble_method
+from repro.compiler.compile import compile_prelude, compile_source
+
+SOURCE = """
+class Point {
+    int x;
+    static int count;
+    int get() { return this.x; }
+    static void bump() { Point.count = Point.count + 1; }
+    static int pick(int a, int b) {
+        if (a < b) { return a; }
+        return b;
+    }
+}
+class Point3 extends Point { int z; }
+"""
+
+
+def classfiles():
+    return compile_source(SOURCE, version="1.0")
+
+
+class TestDisassembleMethod:
+    def test_header_carries_flags_and_descriptor(self):
+        point = classfiles()["Point"]
+        text = disassemble_method(point.get_method("bump", "()V"))
+        header = text.splitlines()[0]
+        assert "static" in header
+        assert header.endswith("bump()V")
+
+    def test_listing_shape(self):
+        point = classfiles()["Point"]
+        lines = disassemble_method(point.get_method("get", "()I")).splitlines()
+        assert lines[1].strip().startswith("max_locals=")
+        assert lines[2].startswith("     0: ")
+        body = "\n".join(lines)
+        assert "GETFIELD" in body
+        assert "RETURN_VALUE" in body
+
+    def test_branch_targets_are_printed(self):
+        point = classfiles()["Point"]
+        text = disassemble_method(point.get_method("pick", "(I,I)I"))
+        # The compiled `if` must show some branching op with a pc operand.
+        assert any(
+            op in text for op in ("JUMP", "BRANCH", "IF")
+        ), text
+
+    def test_native_methods_are_flagged(self):
+        sys_cf = compile_prelude()["Sys"]
+        native = next(m for m in sys_cf.methods.values() if m.is_native)
+        text = disassemble_method(native)
+        assert "native" in text.splitlines()[0]
+
+
+class TestDisassembleClass:
+    def test_class_header_and_fields(self):
+        text = disassemble_class(classfiles()["Point"])
+        assert text.splitlines()[0].startswith("class Point")
+        assert "(version '1.0')" in text
+        assert "x: I" in text
+        assert "static" in text and "count: I" in text
+
+    def test_superclass_is_shown(self):
+        text = disassemble_class(classfiles()["Point3"])
+        assert "class Point3 extends Point" in text.splitlines()[0]
+
+    def test_methods_are_embedded_indented(self):
+        text = disassemble_class(classfiles()["Point"])
+        assert "bump()V" in text
+        # Method listings are nested one level deeper than the class line.
+        assert any(
+            line.startswith("    ") and ": " in line
+            for line in text.splitlines()
+        )

@@ -121,5 +121,41 @@ class TestExperienceHarness:
         assert outcome.body_only_supported
         assert "paper: applied" in outcome.notes
         assert outcome.sessions_failed == 0
+        # dsu-lint agrees this lands: no predicted abort.
+        assert outcome.predicted_abort == ""
+        assert outcome.prediction_matches
         text = render_experience_table([outcome])
         assert "5.1.8->5.1.9" in text
+        assert "dsu-lint predicted" in text
+
+
+class TestStaticPrediction:
+    """Satellite of the dsu-lint analyzer: both §4 runtime aborts are
+    statically predicted, and the experience table records it."""
+
+    def test_registry_names_the_two_paper_aborts(self):
+        from repro.apps.registry import (
+            STATIC_PREDICTED_ABORTS,
+            statically_predicted_abort,
+        )
+
+        assert STATIC_PREDICTED_ABORTS == {
+            ("jetty", "5.1.2", "5.1.3"),
+            ("javaemail", "1.2.4", "1.3"),
+        }
+        assert statically_predicted_abort("jetty", "5.1.2", "5.1.3")
+        assert not statically_predicted_abort("jetty", "5.1.0", "5.1.1")
+
+    @pytest.mark.parametrize("app,from_version,to_version", [
+        ("jetty", "5.1.2", "5.1.3"),
+        ("javaemail", "1.2.4", "1.3"),
+    ])
+    def test_runtime_abort_was_predicted(self, app, from_version, to_version):
+        outcome = run_single_update(app, from_version, to_version,
+                                    timeout_ms=400)
+        assert not outcome.result.succeeded
+        assert outcome.predicted_abort == "safepoint/timeout"
+        assert outcome.prediction_matches
+        text = render_experience_table([outcome])
+        assert "safepoint/timeout" in text
+        assert "predicted 1 of 1 runtime abort(s) statically" in text

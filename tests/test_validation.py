@@ -92,6 +92,36 @@ class TestValidation:
         warnings = validate_update(old, prepared)
         assert any("out-of-range" in w for w in warnings)
 
+    def test_same_named_field_on_another_class_does_not_mask(self):
+        # Regression: the coverage check used to collect bare PUTFIELD
+        # field names, so assigning Badge.age hid that User.age was never
+        # initialized. It is keyed by (owner, field) now.
+        v1 = """
+class User { string name; }
+class Badge { int age; static Badge pin; }
+class Main { static void main() { } }
+"""
+        v2 = """
+class User { string name; int age; }
+class Badge { int age; static Badge pin; }
+class Main { static void main() { } }
+"""
+        override = {
+            "User": """
+    static void jvolveClass(User unused) { }
+    static void jvolveObject(User to, v10_User from) {
+        to.name = from.name;
+        Badge.pin.age = 7;
+    }
+"""
+        }
+        old = compile_source(v1, version="1.0")
+        new = compile_source(v2, version="2.0")
+        prepared = prepare_update(old, new, "1.0", "2.0",
+                                  transformer_overrides=override)
+        warnings = validate_update(old, prepared)
+        assert any("User.age is new" in w for w in warnings)
+
     def test_empty_update_warns(self):
         old = compile_source(V1, version="1.0")
         prepared = prepare_update(old, old, "1.0", "2.0")
