@@ -1,0 +1,59 @@
+"""Safe-point acquisition under load, with the semantic-diff restricted-set
+minimizer off vs on.
+
+The minimizer's runtime payoff: every category-2 candidate it proves safe
+is one fewer method the safe-point scan must find off-stack (or
+on-stack-replace). On the paper's Figure-3 update (JavaEmailServer
+1.3.1 -> 1.3.2) the unminimized restricted set forces the VM to OSR all
+three live processor/sender loops; minimization proves the two processor
+loops' baked ``User`` offsets stable, leaving only ``SMTPSender.run`` to
+replace.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.microbench import (
+    render_safepoint_acquisition,
+    run_safepoint_acquisition_bench,
+)
+
+PAIRS = [
+    ("javaemail", "1.3.1", "1.3.2"),
+    ("jetty", "5.1.3", "5.1.4"),
+]
+
+
+@pytest.mark.benchmark(group="safepoint")
+def test_safepoint_acquisition_minimized_vs_not(benchmark):
+    def run_all():
+        results = []
+        for app, from_version, to_version in PAIRS:
+            for minimize in (False, True):
+                results.append(run_safepoint_acquisition_bench(
+                    app, from_version, to_version, minimize=minimize,
+                ))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("safepoint_acquisition", render_safepoint_acquisition(results))
+
+    by_key = {(r.app, r.to_version, r.minimized): r for r in results}
+    for app, _, to_version in PAIRS:
+        off = by_key[(app, to_version, False)]
+        on = by_key[(app, to_version, True)]
+        # Both configurations still land the update...
+        assert off.succeeded and on.succeeded
+        # ...but minimization strictly shrinks the restricted set and
+        # never makes acquisition harder.
+        assert on.restricted_size < off.restricted_size
+        assert on.rounds <= off.rounds
+        assert on.osr_frames <= off.osr_frames
+        assert on.wait_ms <= off.wait_ms
+
+    # The flagship (Figure 3): minimization spares the two processor
+    # loops from on-stack replacement; only SMTPSender.run remains.
+    je_off = by_key[("javaemail", "1.3.2", False)]
+    je_on = by_key[("javaemail", "1.3.2", True)]
+    assert je_off.osr_frames == 3
+    assert je_on.osr_frames == 1

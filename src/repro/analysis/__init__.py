@@ -198,7 +198,9 @@ def analyze_update(
         )
 
     # Pass 2: restriction closure + category-2 staleness.
-    closure, closure_diagnostics = compute_closure(program, spec, graph)
+    closure, closure_diagnostics = compute_closure(
+        program, spec, graph, prepared.new_classfiles
+    )
     report.extend(closure_diagnostics)
     report.predicted_restricted = closure.predicted
 

@@ -23,12 +23,13 @@ computes the same sets ahead of time, from class files alone:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..bytecode.classfile import ClassFile
 from ..dsu.specification import MethodKey, UpdateSpecification
 from ..vm.inlining import inline_method
 from .callgraph import CallGraph
+from .semdiff import compute_indirect_methods
 from .report import (
     CODE_EXTRA_CATEGORY2,
     CODE_STALE_CATEGORY2,
@@ -60,28 +61,30 @@ class RestrictionClosure:
 
 
 def recompute_category2(
-    old_classfiles: Dict[str, ClassFile], spec: UpdateSpecification
+    old_classfiles: Dict[str, ClassFile],
+    spec: UpdateSpecification,
+    new_classfiles: Optional[Dict[str, ClassFile]] = None,
 ) -> Set[MethodKey]:
     """Re-derive the indirect (offset-dependent) methods from bytecode,
-    mirroring :func:`repro.dsu.upt.diff_programs` step by step."""
-    changed = spec.category1()
-    recomputed: Set[MethodKey] = set()
-    for name, classfile in old_classfiles.items():
-        if name in spec.deleted_classes:
-            continue
-        for key, method in classfile.methods.items():
-            method_key: MethodKey = (name, key[0], key[1])
-            if method_key in changed or method.is_native:
-                continue
-            if method.referenced_classes() & spec.class_updates:
-                recomputed.add(method_key)
-    return recomputed
+    sharing :func:`repro.analysis.semdiff.compute_indirect_methods` with
+    :func:`repro.dsu.upt.diff_programs` so the two can never drift. A
+    minimized spec is re-minimized (escape analysis needs the new class
+    files); without them the coarse derivation is used, which can only
+    over-restrict — never under."""
+    indirect, _ = compute_indirect_methods(
+        old_classfiles,
+        new_classfiles,
+        spec,
+        minimize=spec.minimized and new_classfiles is not None,
+    )
+    return indirect
 
 
 def compute_closure(
     old_classfiles: Dict[str, ClassFile],
     spec: UpdateSpecification,
     graph: CallGraph,
+    new_classfiles: Optional[Dict[str, ClassFile]] = None,
 ) -> Tuple[RestrictionClosure, List[Diagnostic]]:
     closure = RestrictionClosure()
     closure.hard = set(spec.category1() | spec.category3())
@@ -110,7 +113,7 @@ def compute_closure(
     # post-boot additions the UPT never saw.
     diffed = set(spec.summaries) | set(spec.deleted_classes)
     closure.recomputed_category2 = {
-        key for key in recompute_category2(old_classfiles, spec)
+        key for key in recompute_category2(old_classfiles, spec, new_classfiles)
         if key[0] in diffed
     }
     diagnostics: List[Diagnostic] = []

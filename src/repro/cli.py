@@ -160,16 +160,47 @@ def cmd_update(args) -> int:
     return 0 if result.succeeded else 1
 
 
+def _lint_superset_gate(boot_info, prepared, report):
+    """Runtime check of the analyzer's central soundness claim: boot the
+    old version, adversarially opt-compile *everything* (so every
+    possible inline host materializes), and verify the methods the VM
+    would actually treat as restricted are a subset of the static
+    prediction. Returns the over-restriction set (empty = gate passes)."""
+    from .apps.registry import APPS
+    from .dsu.safepoint import observed_restriction_keys, resolve_restricted
+    from .harness.updates import AppDriver
+
+    app, from_version, _ = boot_info
+    info = APPS[app]
+    driver = AppDriver(
+        app, info.versions, info.main_class,
+        transformer_overrides=info.transformer_overrides,
+    )
+    driver.boot(from_version)
+    vm = driver.vm
+    for entry in list(vm.methods.all_entries()):
+        if entry.info.is_native:
+            continue
+        try:
+            vm.jit.compile_opt(entry)
+        except Exception:
+            continue
+    sets = resolve_restricted(vm, prepared.spec)
+    observed = observed_restriction_keys(vm, sets)
+    return observed - report.predicted_restricted
+
+
 def cmd_dsu_lint(args) -> int:
     """Static update-safety analysis: predict whether/why an update can
     land, before any VM is signalled."""
     import json as json_module
 
     from .analysis import analyze_update
-    from .dsu.upt import prepare_update as prepare
+    from .dsu.upt import diff_programs as diff, prepare_update as prepare
 
-    # (label, report, expect_errors-or-None) triples.
-    reports = []
+    # (label, old classfiles, prepared, expect_errors-or-None,
+    #  (app, from, to)-or-None) per linted update.
+    targets = []
     if args.all_apps or args.app:
         from .apps.registry import (
             APPS,
@@ -198,11 +229,12 @@ def cmd_dsu_lint(args) -> int:
                 pairs = [(args.from_version, args.to_version)]
             for from_version, to_version in pairs:
                 prepared = driver.prepare_pair(from_version, to_version)
-                report = analyze_update(driver.classfiles(from_version), prepared)
-                reports.append((
+                targets.append((
                     f"{app} {from_version}->{to_version}",
-                    report,
+                    driver.classfiles(from_version),
+                    prepared,
                     (app, from_version, to_version) in STATIC_PREDICTED_ABORTS,
+                    (app, from_version, to_version),
                 ))
     else:
         if not (args.old and args.new):
@@ -218,11 +250,71 @@ def cmd_dsu_lint(args) -> int:
             old, new, args.old_version, args.new_version,
             transformer_overrides=overrides,
         )
-        reports.append((
+        targets.append((
             f"{args.old_version}->{args.new_version}",
-            analyze_update(old, prepared),
+            old,
+            prepared,
+            None,
             None,
         ))
+
+    if args.explain:
+        from .analysis.explain import explain_restriction
+
+        for label, old, prepared, _, _ in targets:
+            if len(targets) > 1:
+                print(f"== {label}")
+            print(explain_restriction(old, prepared, args.explain))
+        return 0
+
+    reports = [
+        (label, analyze_update(old, prepared), expect_errors)
+        for label, old, prepared, expect_errors, _ in targets
+    ]
+
+    gate_failures = []
+    gate_status = {}
+    if args.superset_gate:
+        for (label, _, prepared, _, boot_info), (_, report, _) in zip(
+            targets, reports
+        ):
+            if boot_info is None:
+                print("--superset-gate needs --app/--all-apps (it boots the "
+                      "bundled application to compare against the prediction)",
+                      file=sys.stderr)
+                return 2
+            extra = _lint_superset_gate(boot_info, prepared, report)
+            gate_status[label] = "ok" if not extra else "FAIL"
+            if extra:
+                gate_failures.append((label, sorted(extra)))
+
+    if args.sizes_out:
+        rows = []
+        for (label, old, prepared, _, boot_info) in targets:
+            spec = prepared.spec
+            raw = diff(old, prepared.new_classfiles,
+                       spec.old_version, spec.new_version, minimize=False)
+            row = {
+                "update": label,
+                "restricted_before": raw.restricted_size(),
+                "restricted_after": spec.restricted_size(),
+                "equivalent_methods": len(spec.equivalent_methods),
+                "escaped_category2": len(spec.escaped_indirect),
+            }
+            if boot_info is not None:
+                row["app"], row["from_version"], row["to_version"] = boot_info
+            if args.superset_gate:
+                row["superset_gate"] = gate_status.get(label, "")
+            rows.append(row)
+        with open(args.sizes_out, "w") as handle:
+            json_module.dump(rows, handle, indent=2)
+            handle.write("\n")
+        shrunk = sum(
+            1 for row in rows
+            if row["restricted_after"] < row["restricted_before"]
+        )
+        print(f"[sizes] restricted sets shrank on {shrunk} of {len(rows)} "
+              f"updates; written to {args.sizes_out}", file=sys.stderr)
 
     if args.json:
         payload = [
@@ -236,6 +328,11 @@ def cmd_dsu_lint(args) -> int:
         for label, report, _ in reports:
             print(f"== {label}")
             print(report.render())
+
+    for label, extra in gate_failures:
+        print(f"[superset-gate] {label}: VM restricts methods the analyzer "
+              f"missed: {', '.join(str(key) for key in extra)}",
+              file=sys.stderr)
 
     if args.check_expected:
         failures = []
@@ -253,7 +350,9 @@ def cmd_dsu_lint(args) -> int:
                 )
         for failure in failures:
             print(f"[check-expected] {failure}", file=sys.stderr)
-        return 1 if failures else 0
+        return 1 if failures or gate_failures else 0
+    if gate_failures:
+        return 1
     return 1 if any(report.has_errors for _, report, _ in reports) else 0
 
 
@@ -347,6 +446,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="CI mode: fail unless error diagnostics appear on "
                            "exactly the updates the registry records as "
                            "statically predicted aborts")
+    lint.add_argument("--explain", metavar="CLASS.METHOD", default=None,
+                      help="explain why one method is (or is not) in the "
+                           "restricted set: category, semantic-diff proof, "
+                           "per-site category-2 escape verdicts, inline "
+                           "chains (accepts Class.method or "
+                           "Class.method(descriptor))")
+    lint.add_argument("--superset-gate", action="store_true",
+                      help="with --app/--all-apps: boot the old version, "
+                           "opt-compile every method, and fail if the VM "
+                           "restricts anything the analyzer did not predict "
+                           "(soundness check for the minimizer)")
+    lint.add_argument("--sizes-out", metavar="FILE", default=None,
+                      help="write per-update restricted-set sizes before and "
+                           "after semantic-diff minimization as JSON")
     lint.set_defaults(fn=cmd_dsu_lint)
     return parser
 

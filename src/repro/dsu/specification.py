@@ -121,6 +121,24 @@ class UpdateSpecification:
     #: per-class change summaries for reporting
     summaries: Dict[str, ClassChangeSummary] = field(default_factory=dict)
 
+    # -- semantic-diff minimization (repro.analysis.semdiff) -----------
+    #: True when the UPT ran the semantic-diff minimizer over this spec:
+    #: body changes proven equivalent were downgraded to unchanged, and
+    #: category-2 candidates whose baked offsets provably survive the
+    #: update escaped restriction. Consumers that re-derive restricted
+    #: sets (dsu-lint's closure) must honor the same flag.
+    minimized: bool = False
+    #: methods whose bytecode differs byte-wise but was proven
+    #: semantically equivalent — NOT restricted, NOT replaced
+    equivalent_methods: Set[MethodKey] = field(default_factory=set)
+    #: methods referencing updated classes whose every baked site
+    #: (field offset / TIB slot) provably survives — NOT restricted
+    escaped_indirect: Set[MethodKey] = field(default_factory=set)
+    #: per-method explanation strings from the minimizer: why a body
+    #: change was (or was not) proven equivalent, why a category-2
+    #: candidate escaped — consumed by ``dsu-lint --explain``
+    minimization_reasons: Dict[MethodKey, str] = field(default_factory=dict)
+
     # ------------------------------------------------------------------
     # restricted-method categories (paper §3.2)
 
@@ -138,6 +156,14 @@ class UpdateSpecification:
 
     def category3(self) -> FrozenSet[MethodKey]:
         return frozenset(self.blacklist)
+
+    def restricted_keys(self) -> FrozenSet[MethodKey]:
+        """Every restricted method key, all three categories."""
+        return self.category1() | self.category2() | self.category3()
+
+    def restricted_size(self) -> int:
+        """|restricted set| — the number the safe-point scan blocks on."""
+        return len(self.restricted_keys())
 
     # ------------------------------------------------------------------
     # summary rows (Tables 2-4)
@@ -189,6 +215,13 @@ class UpdateSpecification:
                 self.changed_methods_in_updated_classes
             ),
             "blacklist": sorted(self.blacklist),
+            "minimized": self.minimized,
+            "equivalent_methods": sorted(self.equivalent_methods),
+            "escaped_indirect": sorted(self.escaped_indirect),
+            "minimization_reasons": [
+                [list(key), reason]
+                for key, reason in sorted(self.minimization_reasons.items())
+            ],
         }
 
     def to_json(self) -> str:
@@ -209,6 +242,19 @@ class UpdateSpecification:
             tuple(k) for k in data["changed_methods_in_updated_classes"]
         }
         spec.blacklist = {tuple(k) for k in data["blacklist"]}
+        # Minimization fields postdate the original spec format; old spec
+        # files load as unminimized (the safe, coarse classification).
+        spec.minimized = bool(data.get("minimized", False))
+        spec.equivalent_methods = {
+            tuple(k) for k in data.get("equivalent_methods", ())
+        }
+        spec.escaped_indirect = {
+            tuple(k) for k in data.get("escaped_indirect", ())
+        }
+        spec.minimization_reasons = {
+            tuple(key): reason
+            for key, reason in data.get("minimization_reasons", ())
+        }
         return spec
 
     @classmethod

@@ -109,9 +109,20 @@ def diff_programs(
     old_version: str,
     new_version: str,
     blacklist: Iterable[MethodKey] = (),
+    minimize: bool = True,
 ) -> UpdateSpecification:
-    """Classify all differences between two program versions."""
+    """Classify all differences between two program versions.
+
+    With ``minimize=True`` (the default) the semantic-diff engine
+    (:mod:`repro.analysis.semdiff`) shrinks the restricted sets: method
+    bodies proven behaviorally equivalent are downgraded to *unchanged*,
+    and unchanged methods whose baked offsets provably survive the update
+    (field-addition-only layouts, stable TIB slots) escape category 2.
+    The per-class summaries (Tables 2–4) always report the raw byte-level
+    diff either way.
+    """
     spec = UpdateSpecification(old_version, new_version)
+    spec.minimized = minimize
     spec.blacklist = set(blacklist)
     old_names = set(old_classfiles)
     new_names = set(new_classfiles)
@@ -165,23 +176,51 @@ def diff_programs(
         for key in old_classfiles[name].methods:
             spec.deleted_methods.add((name, key[0], key[1]))
 
-    # Category (2): old methods with unchanged bytecode whose compiled code
-    # bakes offsets of a signature-updated class.
-    changed_keys = spec.category1()
-    for name, classfile in old_classfiles.items():
-        if name in spec.deleted_classes:
-            continue
-        for key, method in classfile.methods.items():
-            method_key = (name, key[0], key[1])
-            if method_key in changed_keys or method.is_native:
+    # Semantic-diff minimization step 1: prove byte-different bodies
+    # behaviorally identical and downgrade them to unchanged. The old
+    # (equivalent) code keeps running; no frame restriction is needed.
+    # Function-level import: repro.analysis imports this module.
+    if minimize:
+        from ..analysis.semdiff import methods_equivalent
+
+        for method_key in sorted(
+            spec.method_body_updates | spec.changed_methods_in_updated_classes
+        ):
+            name = method_key[0]
+            old_method = old_classfiles[name].get_method(*method_key[1:])
+            new_method = new_classfiles[name].get_method(*method_key[1:])
+            if old_method is None or new_method is None:
                 continue
-            if method.referenced_classes() & spec.class_updates:
-                spec.indirect_methods.add(method_key)
+            verdict = methods_equivalent(old_method, new_method)
+            spec.minimization_reasons[method_key] = verdict.reason
+            if verdict.equivalent:
+                spec.method_body_updates.discard(method_key)
+                spec.changed_methods_in_updated_classes.discard(method_key)
+                spec.equivalent_methods.add(method_key)
+
+    # Category (2): old methods with unchanged bytecode whose compiled code
+    # bakes offsets of a signature-updated class. Downgraded-equivalent
+    # methods participate as candidates: their old compiled code stays on
+    # stacks, so its baked offsets must survive (or restrict). Shared with
+    # dsu-lint's closure so prediction and runtime always agree.
+    from ..analysis.semdiff import compute_indirect_methods
+
+    indirect, escaped = compute_indirect_methods(
+        old_classfiles, new_classfiles, spec, minimize
+    )
+    spec.indirect_methods = indirect
+    spec.escaped_indirect = set(escaped)
+    spec.minimization_reasons.update(escaped)
     return spec
 
 
 def _statics_signature(classfile: ClassFile):
-    return [(f.name, f.descriptor) for f in classfile.static_fields()]
+    """Static fields as an order-insensitive signature. Statics are
+    addressed by per-name JTOC slots, so *reordering* static declarations
+    moves nothing — only additions, deletions, and retypes change the
+    class signature. (Instance layout stays order-sensitive: field offsets
+    are baked in declaration order.)"""
+    return sorted((f.name, f.descriptor) for f in classfile.static_fields())
 
 
 def _diff_class(name, old_cf: ClassFile, new_cf: ClassFile, spec) -> ClassChangeSummary:
@@ -450,10 +489,12 @@ def prepare_update(
     transformer_helpers: str = "",
     blacklist: Iterable[MethodKey] = (),
     active_method_mappings: Optional[Dict[tuple, ActiveMethodMapping]] = None,
+    minimize: bool = True,
 ) -> PreparedUpdate:
     """Run the full UPT pipeline and compile the transformers."""
     spec = diff_programs(
-        old_classfiles, new_classfiles, old_version, new_version, blacklist
+        old_classfiles, new_classfiles, old_version, new_version, blacklist,
+        minimize=minimize,
     )
     transformers_source = generate_default_transformers(
         old_classfiles, new_classfiles, spec, transformer_overrides, transformer_helpers

@@ -175,3 +175,138 @@ def sweep(
         for fraction in fractions:
             results.append(run_microbench(count, fraction))
     return results
+
+
+# ---------------------------------------------------------------------------
+# Safe-point acquisition under load: does semantic-diff minimization help?
+
+
+@dataclass
+class SafepointAcquisitionResult:
+    """One run of a busy server taking an update, with the semantic-diff
+    minimizer either on or off. The interesting comparison is the pair of
+    runs: a smaller restricted set means fewer live frames can block the
+    safe point, so acquisition needs fewer rounds / less waiting."""
+
+    app: str
+    from_version: str
+    to_version: str
+    minimized: bool
+    restricted_size: int
+    succeeded: bool
+    #: safe-point attempts made inside the winning (or final) round
+    attempts: int
+    #: acquisition rounds used (1 = first window sufficed)
+    rounds: int
+    #: live restricted frames the VM had to on-stack-replace to reach the
+    #: safe point — every category-2 escape the minimizer proves is one
+    #: fewer frame here
+    osr_frames: int
+    #: simulated ms between the request and the pause actually starting
+    wait_ms: float
+    total_pause_ms: float
+
+
+def _schedule_busy_load(driver, app: str, port: int) -> None:
+    """Sustained traffic so application frames are live when the update
+    fires (heavier than the experience sweep's light load)."""
+    from ..net.httpclient import HttpConnectionClient
+    from ..net.loadgen import ScriptedSession
+
+    if app == "jetty":
+        for i in range(3):
+            HttpConnectionClient(
+                driver.vm, port, "/file.bin", 60
+            ).start(30.0 + 7.0 * i)
+    elif app == "javaemail":
+        from ..apps.javaemail.versions import POP3_PORT, SMTP_PORT
+        from ..net.popclient import stat_script
+        from ..net.smtpclient import send_mail_script
+
+        for i in range(3):
+            ScriptedSession(
+                driver.vm, SMTP_PORT,
+                send_mail_script("bob@example.org", "alice@example.org",
+                                 ["load " + str(i)]),
+            ).start(30.0 + 40.0 * i)
+            ScriptedSession(
+                driver.vm, POP3_PORT, stat_script("alice", "apass")
+            ).start(50.0 + 40.0 * i)
+    elif app == "crossftp":
+        from ..net.ftpclient import browse_script
+
+        for i in range(3):
+            ScriptedSession(
+                driver.vm, port, browse_script()
+            ).start(30.0 + 40.0 * i)
+
+
+def run_safepoint_acquisition_bench(
+    app: str = "javaemail",
+    from_version: str = "1.3.1",
+    to_version: str = "1.3.2",
+    minimize: bool = True,
+    request_at_ms: float = 120.0,
+    timeout_ms: float = 1_000.0,
+    retries: int = 6,
+    backoff: float = 1.5,
+    until_ms: float = 30_000.0,
+) -> SafepointAcquisitionResult:
+    """Boot a server, put it under sustained load so application frames
+    are live when the update fires, and measure how quickly the DSU safe
+    point is acquired with/without restricted-set minimization."""
+    from ..apps.registry import APPS
+    from .updates import AppDriver
+
+    info = APPS[app]
+    driver = AppDriver(
+        app, info.versions, info.main_class,
+        transformer_overrides=info.transformer_overrides,
+    )
+    driver.boot(from_version)
+    _schedule_busy_load(driver, app, info.port)
+    holder = driver.request_update_at(
+        request_at_ms, to_version, timeout_ms=timeout_ms,
+        retries=retries, backoff=backoff, minimize=minimize,
+    )
+    driver.run(until_ms=until_ms)
+    result = holder["result"]
+    spec = driver.prepare_pair(from_version, to_version, minimize).spec
+    wait_ms = max(
+        0.0,
+        result.finished_at_ms - result.requested_at_ms - result.total_pause_ms,
+    )
+    return SafepointAcquisitionResult(
+        app=app,
+        from_version=from_version,
+        to_version=to_version,
+        minimized=minimize,
+        restricted_size=spec.restricted_size(),
+        succeeded=result.succeeded,
+        attempts=result.attempts,
+        rounds=result.retry_rounds + 1,
+        osr_frames=result.osr_frames,
+        wait_ms=wait_ms,
+        total_pause_ms=result.total_pause_ms,
+    )
+
+
+def render_safepoint_acquisition(
+    results: Sequence[SafepointAcquisitionResult],
+) -> str:
+    lines = [
+        "Safe-point acquisition under load (semantic-diff minimization "
+        "off vs on)",
+        f"{'update':>22s} {'minimize':>9s} {'restr':>6s} {'rounds':>7s} "
+        f"{'attempts':>9s} {'osr':>4s} {'wait(ms)':>9s} {'pause(ms)':>10s} "
+        f"{'outcome':>8s}",
+    ]
+    for r in results:
+        update = f"{r.app} {r.from_version}->{r.to_version}"
+        lines.append(
+            f"{update:>22s} {'on' if r.minimized else 'off':>9s} "
+            f"{r.restricted_size:>6d} {r.rounds:>7d} {r.attempts:>9d} "
+            f"{r.osr_frames:>4d} {r.wait_ms:>9.1f} {r.total_pause_ms:>10.1f} "
+            f"{'applied' if r.succeeded else 'aborted':>8s}"
+        )
+    return "\n".join(lines)

@@ -179,6 +179,13 @@ def run_single_update(
     lint_report = analyze_update(
         driver.classfiles(from_version), prepared_again
     )
+    raw_spec = diff_programs(
+        driver.classfiles(from_version),
+        driver.classfiles(to_version),
+        from_version,
+        to_version,
+        minimize=False,
+    )
     outcome = AppUpdateOutcome(
         app=app,
         from_version=from_version,
@@ -194,6 +201,8 @@ def run_single_update(
         ),
         body_only_supported=prepared_again.spec.method_body_only(),
         predicted_abort=lint_report.predicted_abort,
+        restricted_before=raw_spec.restricted_size(),
+        restricted_after=prepared_again.spec.restricted_size(),
     )
     expected = expected_outcome(app, from_version, to_version)
     if expected is not None:
@@ -225,24 +234,30 @@ def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
     aborted = [o for o in outcomes if not o.result.succeeded]
     predicted_aborts = sum(1 for o in aborted if o.predicted_abort)
     agree = sum(1 for o in outcomes if o.prediction_matches)
+    shrunk = sum(1 for o in outcomes if o.restricted_after < o.restricted_before)
     lines = [
         f"Experience: {applied} of {len(outcomes)} updates applied "
         f"(paper: 20 of 22); method-body-only systems could support "
         f"{body_only} (paper: 9); dsu-lint predicted {predicted_aborts} of "
         f"{len(aborted)} runtime abort(s) statically "
-        f"({agree}/{len(outcomes)} verdicts agree)",
+        f"({agree}/{len(outcomes)} verdicts agree); semantic diff shrank "
+        f"the restricted set on {shrunk} of {len(outcomes)} updates",
         f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
-        f"{'why':>22s} {'predicted':>18s} {'pause(ms)':>10s} {'objs':>6s}  "
-        f"notes",
+        f"{'why':>22s} {'predicted':>18s} {'restr':>8s} {'rounds':>6s} "
+        f"{'pause(ms)':>10s} {'objs':>6s}  notes",
     ]
     for o in outcomes:
         update = f"{o.from_version}->{o.to_version}"
         pause = f"{o.result.total_pause_ms:.1f}" if o.result.succeeded else "-"
         why = o.abort_why or "-"
         predicted = o.predicted_abort or "-"
+        restr = (f"{o.restricted_before}->{o.restricted_after}"
+                 if o.restricted_after != o.restricted_before
+                 else str(o.restricted_before))
         lines.append(
             f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
-            f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {pause:>10s} "
+            f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {restr:>8s} "
+            f"{o.retry_rounds + 1:>6d} {pause:>10s} "
             f"{o.result.objects_transformed:>6d}  {o.notes}"
         )
     return "\n".join(lines)

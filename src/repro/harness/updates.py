@@ -33,6 +33,11 @@ class AppUpdateOutcome:
     #: ``dsu-lint``'s static verdict before the update ran: the predicted
     #: ``"phase/reason"`` abort attribution, or ``""`` = predicted to land
     predicted_abort: str = ""
+    #: |restricted set| before/after semantic-diff minimization — the
+    #: E6 "restr" column; equal values mean the minimizer proved nothing
+    #: on this update
+    restricted_before: int = 0
+    restricted_after: int = 0
     notes: str = ""
 
     @property
@@ -125,11 +130,13 @@ class AppDriver:
         self.current_version = version
         return self
 
-    def prepare(self, to_version: str) -> PreparedUpdate:
+    def prepare(self, to_version: str, minimize: bool = True) -> PreparedUpdate:
         assert self.current_version is not None
-        return self.prepare_pair(self.current_version, to_version)
+        return self.prepare_pair(self.current_version, to_version, minimize)
 
-    def prepare_pair(self, from_version: str, to_version: str) -> PreparedUpdate:
+    def prepare_pair(
+        self, from_version: str, to_version: str, minimize: bool = True
+    ) -> PreparedUpdate:
         overrides = self.transformer_overrides.get((from_version, to_version), {})
         return prepare_update(
             self.classfiles(from_version),
@@ -137,6 +144,7 @@ class AppDriver:
             from_version,
             to_version,
             transformer_overrides=overrides or None,
+            minimize=minimize,
         )
 
     def request_update_at(
@@ -146,8 +154,9 @@ class AppDriver:
         timeout_ms: float = 15_000.0,
         retries: int = 0,
         backoff: float = 2.0,
+        minimize: bool = True,
     ) -> Dict[str, UpdateResult]:
-        prepared = self.prepare(to_version)
+        prepared = self.prepare(to_version, minimize=minimize)
         holder: Dict[str, UpdateResult] = {}
 
         def fire():

@@ -252,14 +252,18 @@ class TestClosureAndReachability:
 
     def test_cat2_spinner_warns_but_does_not_doom(self):
         # The javaemail 1.3.2 shape: an unchanged infinite loop whose
-        # class layout changed — OSR rescues it while base-compiled.
+        # class layout changed — OSR rescues it while base-compiled. The
+        # new field is *prepended* so ``port`` genuinely moves and the
+        # semantic-diff minimizer cannot prove the spinner's baked offset
+        # stable (appending it would let the method escape restriction
+        # entirely — see test_semdiff.py).
         v1 = (
             "class Conf { int port; }"
             "class Srv { static Conf c; static int n;"
             "  static void run() { while (true) { Srv.n = Srv.c.port; } } }"
             "class Main { static void main() { Srv.run(); } }"
         )
-        v2 = v1.replace("int port;", "int port; int backlog;")
+        v2 = v1.replace("int port;", "int backlog; int port;")
         _, _, report = analyze_pair(v1, v2)
         findings = report.by_code(CODE_CAT2_NEVER_RETURNS)
         assert [d.severity for d in findings] == [SEVERITY_WARNING]

@@ -231,3 +231,52 @@ class TestDsuLint:
     def test_usage_error_without_inputs(self, capsys):
         assert main(["dsu-lint"]) == 2
         assert "needs either" in capsys.readouterr().err
+
+
+class TestDsuLintMinimization:
+    """--explain / --superset-gate / --sizes-out on the semantic-diff
+    minimizer's flagship update (javaemail 1.3.1->1.3.2, the paper's
+    Figure-3 example)."""
+
+    JE_PAIR = ["dsu-lint", "--app", "javaemail",
+               "--from-version", "1.3.1", "--to-version", "1.3.2"]
+
+    def test_explain_escaped_category2_method(self, capsys):
+        assert main(self.JE_PAIR + ["--explain", "Pop3Processor.run"]) == 0
+        out = capsys.readouterr().out
+        assert "Pop3Processor.run()V" in out
+        assert "category-2 escape" in out
+        assert "keeps flattened slot" in out
+
+    def test_explain_restricted_method_shows_stale_site(self, capsys):
+        assert main(self.JE_PAIR + ["--explain", "SMTPSender.run"]) == 0
+        out = capsys.readouterr().out
+        assert "category 2 (restricted)" in out
+        assert "STALE" in out
+        assert "forwardAddresses" in out
+
+    def test_explain_unknown_method(self, capsys):
+        assert main(self.JE_PAIR + ["--explain", "Nope.missing"]) == 0
+        assert "no method matching" in capsys.readouterr().out
+
+    def test_superset_gate_and_sizes_out(self, tmp_path, capsys):
+        import json
+
+        sizes = tmp_path / "sizes.json"
+        code = main([
+            "dsu-lint", "--app", "jetty",
+            "--from-version", "5.1.1", "--to-version", "5.1.2",
+            "--superset-gate", "--sizes-out", str(sizes), "--json",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "shrank on 1 of 1" in captured.err
+        (row,) = json.loads(sizes.read_text())
+        assert row["superset_gate"] == "ok"
+        assert row["restricted_after"] < row["restricted_before"]
+        assert row["escaped_category2"] >= 1
+
+    def test_superset_gate_requires_app_mode(self, program_files, capsys):
+        old, new = program_files
+        assert main(["dsu-lint", old, new, "--superset-gate"]) == 2
+        assert "--superset-gate needs" in capsys.readouterr().err

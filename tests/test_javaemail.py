@@ -146,7 +146,11 @@ class TestUpdates:
         driver, result, sessions = self._apply("1.3.1", "1.3.2")
         assert result.succeeded, result.reason
         assert result.used_osr
-        assert result.osr_frames >= 2  # the always-running processor loops
+        # Only SMTPSender.run still needs OSR: the semantic-diff minimizer
+        # proves the POP3/SMTP processor loops' baked User offsets stable
+        # (the Figure-3 field change hits the *last* flattened slot), so
+        # they escape category 2 and keep running old compiled code.
+        assert result.osr_frames >= 1
         assert all(s.succeeded for s in sessions)
         # Forwarding still works after the transformation: bob's forward
         # list was rebuilt as EmailAddress objects by the Figure-3
@@ -196,12 +200,16 @@ class TestSpecs:
         prepared = driver.prepare_pair("1.2.1", "1.2.2")
         assert prepared.spec.method_body_only()
         # 1.3.1 -> 1.3.2 changes User's signature and makes the processor
-        # loops indirect.
+        # loops indirect. The minimizer then proves Pop3Processor.run's
+        # baked User.username offset stable (the changed field occupies
+        # the last flattened slot) so it escapes; SMTPSender.run touches
+        # the changed accessors and stays restricted.
         prepared = driver.prepare_pair("1.3.1", "1.3.2")
         spec = prepared.spec
         assert "User" in spec.class_updates
         assert "EmailAddress" in spec.added_classes
         indirect_names = {key[0] + "." + key[1] for key in spec.indirect_methods}
         assert "SMTPSender.run" in indirect_names
-        assert "Pop3Processor.run" in indirect_names
+        escaped_names = {key[0] + "." + key[1] for key in spec.escaped_indirect}
+        assert "Pop3Processor.run" in escaped_names
         assert not spec.method_body_only()

@@ -1,0 +1,716 @@
+"""Tests for the semantic bytecode diff (:mod:`repro.analysis.semdiff`).
+
+Three layers:
+
+* unit tests for every canonicalization rule, on hand-built bytecode;
+* a regression corpus of known-equivalent and known-different pairs — a
+  known-different pair judged equivalent is a soundness bug, full stop;
+* differential property tests (hypothesis): randomly generated method
+  bodies are re-emitted through a semantics-preserving obfuscator, the
+  canonicalizer must prove the pair equal, and both bodies are executed
+  in the VM on randomized inputs comparing results, static side effects
+  and traps.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.classfile import MethodInfo
+from repro.bytecode.instructions import Instr
+from repro.compiler.compile import compile_source
+from repro.dsu.specification import UpdateSpecification
+from repro.dsu.upt import diff_programs
+from repro.analysis.semdiff import (
+    Verdict,
+    canonicalize_method,
+    methods_equivalent,
+)
+from repro.vm.vm import VM, VMError
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def mk(instrs, descriptor="(I,I)I", static=True, native=False):
+    slots = [i.a for i in instrs if i.op in ("LOAD", "STORE")
+             and isinstance(i.a, int)]
+    return MethodInfo(
+        name="f", descriptor=descriptor, is_static=static, is_native=native,
+        access="public", max_locals=max(slots, default=1) + 1,
+        instructions=list(instrs),
+    )
+
+
+def I(op, a=None, b=None):  # noqa: E741 - deliberate bytecode shorthand
+    return Instr(op, a, b)
+
+
+def assert_equivalent(old, new):
+    verdict = methods_equivalent(mk(old), mk(new))
+    assert verdict.equivalent, verdict.reason
+
+
+def assert_not_equivalent(old, new):
+    verdict = methods_equivalent(mk(old), mk(new))
+    assert not verdict.equivalent, verdict.reason
+
+
+RET = [I("RETURN_VALUE")]
+
+
+# ---------------------------------------------------------------------------
+# canonicalization rules, one by one
+
+
+class TestPeepholeRules:
+    def test_const_bool_is_const_int(self):
+        assert_equivalent(
+            [I("CONST_BOOL", True)] + RET, [I("CONST_INT", 1)] + RET
+        )
+        assert_equivalent(
+            [I("CONST_BOOL", False)] + RET, [I("CONST_INT", 0)] + RET
+        )
+
+    def test_compare_not_fuses_to_inverse(self):
+        for op, inverse in [("EQ", "NE"), ("NE", "EQ"), ("LT", "GE"),
+                            ("GE", "LT"), ("LE", "GT"), ("GT", "LE")]:
+            assert_equivalent(
+                [I("LOAD", 0), I("LOAD", 1), I(op), I("NOT")] + RET,
+                [I("LOAD", 0), I("LOAD", 1), I(inverse)] + RET,
+            )
+
+    def test_constant_fold(self):
+        assert_equivalent(
+            [I("CONST_INT", 2), I("CONST_INT", 3), I("ADD")] + RET,
+            [I("CONST_INT", 5)] + RET,
+        )
+        assert_equivalent(
+            [I("CONST_INT", 2), I("CONST_INT", 3), I("SUB")] + RET,
+            [I("CONST_INT", -1)] + RET,
+        )
+        assert_equivalent(
+            [I("CONST_INT", 2), I("CONST_INT", 3), I("LT")] + RET,
+            [I("CONST_INT", 1)] + RET,
+        )
+
+    def test_div_by_constant_zero_is_never_folded_away(self):
+        # int(1/0) traps; a body that traps is not equivalent to one that
+        # pushes any constant.
+        assert_not_equivalent(
+            [I("CONST_INT", 1), I("CONST_INT", 0), I("DIV")] + RET,
+            [I("CONST_INT", 0)] + RET,
+        )
+        assert_not_equivalent(
+            [I("CONST_INT", 6), I("CONST_INT", 3), I("DIV")] + RET,
+            [I("CONST_INT", 2)] + RET,
+        )
+
+    def test_huge_constants_not_folded(self):
+        huge = 1 << 41
+        form = canonicalize_method(
+            mk([I("CONST_INT", huge), I("CONST_INT", huge), I("ADD")] + RET)
+        )
+        ((body, _term),) = form
+        assert ("ADD", None, None) in body
+
+    def test_const_neg_and_const_not(self):
+        assert_equivalent(
+            [I("CONST_INT", 4), I("NEG")] + RET, [I("CONST_INT", -4)] + RET
+        )
+        assert_equivalent(
+            [I("CONST_INT", 7), I("NOT")] + RET, [I("CONST_INT", 0)] + RET
+        )
+        assert_equivalent(
+            [I("CONST_INT", 0), I("NOT")] + RET, [I("CONST_INT", 1)] + RET
+        )
+
+    def test_dup_pop_and_pure_push_pop_vanish(self):
+        base = [I("LOAD", 0)] + RET
+        assert_equivalent([I("LOAD", 0), I("DUP"), I("POP")] + RET, base)
+        assert_equivalent(
+            [I("CONST_INT", 9), I("POP"), I("LOAD", 0)] + RET, base
+        )
+        assert_equivalent(
+            [I("CONST_NULL"), I("POP"), I("LOAD", 0)] + RET, base
+        )
+        assert_equivalent(
+            [I("LOAD", 1), I("POP"), I("LOAD", 0)] + RET, base
+        )
+
+    def test_const_str_pop_is_not_removable(self):
+        # CONST_STR allocates; dropping it could move the GC schedule.
+        assert_not_equivalent(
+            [I("CONST_STR", "x"), I("POP"), I("LOAD", 0)] + RET,
+            [I("LOAD", 0)] + RET,
+        )
+
+    def test_swap_swap_and_load_store_same_slot_vanish(self):
+        base = [I("LOAD", 0), I("LOAD", 1), I("SUB")] + RET
+        assert_equivalent(
+            [I("LOAD", 0), I("LOAD", 1), I("SWAP"), I("SWAP"), I("SUB")] + RET,
+            base,
+        )
+        assert_equivalent(
+            [I("LOAD", 0), I("STORE", 0), I("LOAD", 0), I("LOAD", 1),
+             I("SUB")] + RET,
+            base,
+        )
+
+
+class TestControlFlowRules:
+    def test_dead_code_after_return_dropped(self):
+        assert_equivalent(
+            [I("CONST_INT", 1), I("RETURN_VALUE"), I("CONST_INT", 99),
+             I("RETURN_VALUE")],
+            [I("CONST_INT", 1)] + RET,
+        )
+
+    def test_forwarder_jump_collapsed(self):
+        assert_equivalent(
+            [I("JUMP", 1), I("CONST_INT", 1), I("RETURN_VALUE")],
+            [I("CONST_INT", 1)] + RET,
+        )
+
+    def test_branch_polarity_is_an_encoding_choice(self):
+        # if-false to else  vs  not + if-true to else
+        old = [
+            I("LOAD", 0), I("JUMP_IF_FALSE", 4),
+            I("CONST_INT", 1), I("RETURN_VALUE"),
+            I("CONST_INT", 2), I("RETURN_VALUE"),
+        ]
+        new = [
+            I("LOAD", 0), I("NOT"), I("JUMP_IF_TRUE", 5),
+            I("CONST_INT", 1), I("RETURN_VALUE"),
+            I("CONST_INT", 2), I("RETURN_VALUE"),
+        ]
+        assert_equivalent(old, new)
+
+    def test_negated_compare_swaps_branch_arms(self):
+        old = [
+            I("LOAD", 0), I("LOAD", 1), I("LT"), I("JUMP_IF_FALSE", 6),
+            I("CONST_INT", 1), I("RETURN_VALUE"),
+            I("CONST_INT", 2), I("RETURN_VALUE"),
+        ]
+        new = [
+            I("LOAD", 0), I("LOAD", 1), I("GE"), I("JUMP_IF_FALSE", 6),
+            I("CONST_INT", 2), I("RETURN_VALUE"),
+            I("CONST_INT", 1), I("RETURN_VALUE"),
+        ]
+        assert_equivalent(old, new)
+
+    def test_constant_condition_branch_folds(self):
+        old = [
+            I("CONST_INT", 1), I("JUMP_IF_FALSE", 4),
+            I("CONST_INT", 7), I("RETURN_VALUE"),
+            I("CONST_INT", 8), I("RETURN_VALUE"),
+        ]
+        assert_equivalent(old, [I("CONST_INT", 7)] + RET)
+
+    def test_branch_with_equal_arms_keeps_condition_effect(self):
+        # LOAD is pure, so the popped condition disappears entirely ...
+        old = [
+            I("LOAD", 0), I("JUMP_IF_FALSE", 2),
+            I("CONST_INT", 9), I("RETURN_VALUE"),
+        ]
+        assert_equivalent(old, [I("CONST_INT", 9)] + RET)
+        # ... but an effectful condition (a call) must survive the fold.
+        call = I("INVOKESTATIC", "H", ("side", "()I"))
+        old = [
+            call, I("JUMP_IF_FALSE", 2),
+            I("CONST_INT", 9), I("RETURN_VALUE"),
+        ]
+        form = canonicalize_method(mk(old))
+        assert ("INVOKESTATIC", "H", ("side", "()I")) in form[0][0]
+
+    def test_empty_infinite_loop_is_preserved(self):
+        spin_a = mk([I("JUMP", 0), I("RETURN")], descriptor="()V")
+        spin_b = mk(
+            [I("CONST_INT", 1), I("CONST_INT", 1), I("EQ"),
+             I("JUMP_IF_FALSE", 5), I("JUMP", 0), I("RETURN")],
+            descriptor="()V",
+        )
+        verdict = methods_equivalent(spin_a, spin_b)
+        assert verdict.equivalent, verdict.reason
+        assert_not_equivalent(
+            [I("JUMP", 0), I("RETURN_VALUE")], [I("CONST_INT", 1)] + RET
+        )
+
+
+class TestLocalSlotRenumbering:
+    def test_temporaries_renumbered_by_first_use(self):
+        old = [
+            I("LOAD", 0), I("STORE", 2), I("LOAD", 2), I("LOAD", 1),
+            I("ADD"),
+        ] + RET
+        new = [
+            I("LOAD", 0), I("STORE", 7), I("LOAD", 7), I("LOAD", 1),
+            I("ADD"),
+        ] + RET
+        assert_equivalent(old, new)
+
+    def test_parameters_are_pinned(self):
+        # Swapping parameter slots changes behavior; renumbering must not
+        # paper over it.
+        assert_not_equivalent(
+            [I("LOAD", 0), I("LOAD", 1), I("SUB")] + RET,
+            [I("LOAD", 1), I("LOAD", 0), I("SUB")] + RET,
+        )
+
+    def test_instance_method_self_slot_pinned(self):
+        old = mk([I("LOAD", 0)] + RET, descriptor="()I", static=False)
+        new = mk([I("LOAD", 0)] + RET, descriptor="()I", static=False)
+        assert methods_equivalent(old, new).equivalent
+
+
+class TestDontKnow:
+    def test_native_method(self):
+        native = mk([], native=True)
+        verdict = methods_equivalent(native, native)
+        assert not verdict.equivalent
+        assert "don't know" in verdict.reason
+
+    def test_signature_mismatch(self):
+        old = mk([I("CONST_INT", 1)] + RET, descriptor="()I")
+        new = mk([I("CONST_INT", 1)] + RET, descriptor="(I)I")
+        assert not methods_equivalent(old, new).equivalent
+
+    def test_unmodellable_bodies(self):
+        assert canonicalize_method(mk([])) is None
+        # control falls off the end
+        assert canonicalize_method(mk([I("CONST_INT", 1)])) is None
+        # branch target out of range
+        assert canonicalize_method(mk([I("JUMP", 99), I("RETURN")])) is None
+        verdict = methods_equivalent(mk([]), mk([]))
+        assert not verdict.equivalent
+        assert "don't know" in verdict.reason
+
+
+# ---------------------------------------------------------------------------
+# regression corpus: source-level pairs
+
+
+def _method(source, cls="A", name="f"):
+    cfs = compile_source(source + " class Main { static void main() { } }")
+    for method in cfs[cls].methods.values():
+        if method.name == name:
+            return method
+    raise AssertionError(f"no {cls}.{name}")
+
+
+EQUIVALENT_SOURCES = [
+    # dead code: explicit else vs fall-through
+    ("class A { static int f(int x) { if (x < 3) { return 1; } return 2; } }",
+     "class A { static int f(int x) { if (x < 3) { return 1; } "
+     "else { return 2; } } }"),
+    # negated condition with swapped arms
+    ("class A { static int f(int x) { if (!(x < 3)) { return 2; } "
+     "else { return 1; } } }",
+     "class A { static int f(int x) { if (x >= 3) { return 2; } "
+     "return 1; } }"),
+    # spinner encodings
+    ("class A { static void f() { while (true) { } } }",
+     "class A { static void f() { while (1 == 1) { } } }"),
+    # trailing unreachable statement
+    ("class A { static int f(int x) { return x + 1; } }",
+     "class A { static int f(int x) { return x + 1; } }"),
+]
+
+DIFFERENT_SOURCES = [
+    ("class A { static int f(int x) { return x + 1; } }",
+     "class A { static int f(int x) { return x + 2; } }"),
+    ("class A { static int f(int x) { return x - 1; } }",
+     "class A { static int f(int x) { return 1 - x; } }"),
+    ("class A { static int f(int x) { if (x < 3) { return 1; } return 2; } }",
+     "class A { static int f(int x) { if (x < 3) { return 2; } return 1; } }"),
+    ("class A { static int f(int x) { if (x < 3) { return 1; } return 2; } }",
+     "class A { static int f(int x) { if (x <= 3) { return 1; } return 2; } }"),
+    ("class A { int v; int f() { return this.v; } }",
+     "class A { int v; int w; int f() { return this.w; } }"),
+]
+
+
+class TestSourceCorpus:
+    @pytest.mark.parametrize("old_src,new_src", EQUIVALENT_SOURCES)
+    def test_known_equivalent(self, old_src, new_src):
+        verdict = methods_equivalent(_method(old_src), _method(new_src))
+        assert verdict.equivalent, verdict.reason
+
+    @pytest.mark.parametrize("old_src,new_src", DIFFERENT_SOURCES)
+    def test_known_different_never_equated(self, old_src, new_src):
+        verdict = methods_equivalent(_method(old_src), _method(new_src))
+        assert not verdict.equivalent, verdict.reason
+
+
+class TestKnownDifferentBytecode:
+    def test_changed_constant(self):
+        assert_not_equivalent(
+            [I("CONST_INT", 1)] + RET, [I("CONST_INT", 2)] + RET
+        )
+
+    def test_different_field(self):
+        assert_not_equivalent(
+            [I("LOAD", 0), I("GETFIELD", "A", "v")] + RET,
+            [I("LOAD", 0), I("GETFIELD", "A", "w")] + RET,
+        )
+
+    def test_different_comparison(self):
+        assert_not_equivalent(
+            [I("LOAD", 0), I("LOAD", 1), I("LT")] + RET,
+            [I("LOAD", 0), I("LOAD", 1), I("LE")] + RET,
+        )
+
+    def test_return_kind_differs(self):
+        old = mk([I("RETURN")], descriptor="()V")
+        new = mk([I("CONST_INT", 0), I("RETURN_VALUE")], descriptor="()V")
+        assert not methods_equivalent(old, new).equivalent
+
+
+# ---------------------------------------------------------------------------
+# differential property tests
+
+
+RUNNER_SOURCE = (
+    "class H { static int acc; "
+    "  static int f(int a, int b) { return 0; } "
+    "  static int g() { return H.acc; } } "
+    "class Main { static void main() { } }"
+)
+
+
+def run_body(instructions, args):
+    """Execute ``instructions`` as the body of ``H.f(I,I)I`` and observe
+    everything observable: result, the ``H.acc`` static, or the trap."""
+    classfiles = compile_source(RUNNER_SOURCE)
+    method = classfiles["H"].get_method("f", "(I,I)I")
+    slots = [i.a for i in instructions
+             if i.op in ("LOAD", "STORE") and isinstance(i.a, int)]
+    method.instructions = list(instructions)
+    method.max_locals = max(slots + [1]) + 1
+    vm = VM()
+    vm.boot(classfiles)
+    vm.registry.get("H")
+    entry = vm.methods.lookup("H", "f", "(I,I)I")
+    try:
+        result = vm.run_static_method_synchronously(entry, list(args))
+    except VMError as error:
+        return ("trap", str(error).split(":")[0])
+    acc = vm.run_static_method_synchronously(
+        vm.methods.lookup("H", "g", "()I")
+    )
+    return ("ok", result, acc)
+
+
+# Expression trees over (a, b), *typed* so the generated bodies pass the
+# VM's bytecode verifier (it distinguishes int from bool on the stack).
+# The programs are loop-free, so execution always terminates (DIV/MOD may
+# trap — that is an observation, not a failure).
+
+_ARITH_OPS = ["ADD", "SUB", "MUL", "DIV", "MOD"]
+_CMP_OPS = ["EQ", "NE", "LT", "LE", "GT", "GE"]
+
+
+def int_exprs(depth=0):
+    leaves = st.one_of(
+        st.integers(-40, 40).map(lambda v: ("const", v)),
+        st.sampled_from([("arg", 0), ("arg", 1)]),
+    )
+    if depth >= 3:
+        return leaves
+    return st.one_of(
+        leaves,
+        st.tuples(st.just("neg"), st.deferred(lambda: int_exprs(depth + 1))),
+        st.tuples(st.just("temp"), st.deferred(lambda: int_exprs(depth + 1))),
+        st.tuples(
+            st.just("arith"), st.sampled_from(_ARITH_OPS),
+            st.deferred(lambda: int_exprs(depth + 1)),
+            st.deferred(lambda: int_exprs(depth + 1)),
+        ),
+        st.tuples(
+            st.just("cond"),
+            st.deferred(lambda: bool_exprs(depth + 1)),
+            st.deferred(lambda: int_exprs(depth + 1)),
+            st.deferred(lambda: int_exprs(depth + 1)),
+        ),
+    )
+
+
+def bool_exprs(depth=0):
+    leaves = st.sampled_from([("bconst", True), ("bconst", False)])
+    if depth >= 3:
+        return leaves
+    return st.one_of(
+        leaves,
+        st.tuples(st.just("not"), st.deferred(lambda: bool_exprs(depth + 1))),
+        st.tuples(
+            st.just("cmp"), st.sampled_from(_CMP_OPS),
+            st.deferred(lambda: int_exprs(depth + 1)),
+            st.deferred(lambda: int_exprs(depth + 1)),
+        ),
+    )
+
+
+class _Label:
+    __slots__ = ()
+
+
+class Emitter:
+    """Emits an expression tree to bytecode. With an ``rng`` it applies
+    random *sound* re-encodings — exactly the idioms the canonicalizer
+    normalizes — so plain and obfuscated emissions must canonicalize to
+    the same form."""
+
+    def __init__(self, rng=None, temp_base=2, temp_stride=1):
+        self.rng = rng
+        self.items = []
+        self.next_temp = temp_base
+        self.temp_stride = temp_stride
+
+    def _chance(self, p):
+        return self.rng is not None and self.rng.random() < p
+
+    def emit(self, op, a=None, b=None):
+        self.items.append(Instr(op, a, b))
+
+    def jump(self, op, label):
+        self.items.append((op, label))
+
+    def mark(self, label):
+        self.items.append(("mark", label))
+
+    def junk(self):
+        """Stack-neutral noise the canonicalizer removes."""
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            self.emit("CONST_INT", self.rng.randrange(100))
+            self.emit("POP")
+        elif choice == 1:
+            self.emit("LOAD", 0)
+            self.emit("STORE", 0)
+        else:
+            self.emit("LOAD", self.rng.randrange(2))
+            self.emit("POP")
+
+    def expr(self, tree):
+        kind = tree[0]
+        if kind == "const":
+            value = tree[1]
+            if self._chance(0.3):
+                delta = self.rng.randrange(-20, 20)
+                self.emit("CONST_INT", value - delta)
+                self.emit("CONST_INT", delta)
+                self.emit("ADD")
+            else:
+                self.emit("CONST_INT", value)
+        elif kind == "bconst":
+            # CONST_BOOL and a comparison of constants both canonicalize
+            # to CONST_INT 1/0.
+            if self._chance(0.4):
+                anchor = self.rng.randrange(-5, 5)
+                self.emit("CONST_INT", anchor)
+                self.emit("CONST_INT", anchor if tree[1] else anchor + 1)
+                self.emit("EQ")
+            else:
+                self.emit("CONST_BOOL", tree[1])
+        elif kind == "arg":
+            self.emit("LOAD", tree[1])
+        elif kind == "neg":
+            self.expr(tree[1])
+            self.emit("NEG")
+        elif kind == "not":
+            self.expr(tree[1])
+            self.emit("NOT")
+        elif kind == "temp":
+            slot = self.next_temp
+            self.next_temp += self.temp_stride
+            self.expr(tree[1])
+            self.emit("STORE", slot)
+            self.emit("LOAD", slot)
+        elif kind in ("arith", "cmp"):
+            _, op, left, right = tree
+            self.expr(left)
+            self.expr(right)
+            if self._chance(0.2):
+                self.emit("SWAP")
+                self.emit("SWAP")
+            from repro.analysis.semdiff import _COMPARE_INVERSE
+            if kind == "cmp" and self._chance(0.4):
+                self.emit(_COMPARE_INVERSE[op])
+                self.emit("NOT")
+            else:
+                self.emit(op)
+        elif kind == "cond":
+            _, cond, then_tree, else_tree = tree
+            otherwise, end = _Label(), _Label()
+            self.expr(cond)
+            if self._chance(0.4):
+                self.emit("NOT")
+                self.jump("JUMP_IF_TRUE", otherwise)
+            else:
+                self.jump("JUMP_IF_FALSE", otherwise)
+            self.expr(then_tree)
+            self.jump("JUMP", end)
+            if self._chance(0.3):
+                # unreachable (but still type-correct) junk between arms
+                self.emit("CONST_INT", 42)
+                self.emit("RETURN_VALUE")
+            self.mark(otherwise)
+            self.expr(else_tree)
+            if self._chance(0.3):
+                hop = _Label()
+                self.jump("JUMP", hop)
+                self.mark(hop)
+            self.mark(end)
+        else:  # pragma: no cover - generator invariant
+            raise AssertionError(kind)
+        if self._chance(0.15):
+            self.junk()
+
+    def assemble(self, tree):
+        self.expr(tree)
+        self.emit("DUP")
+        self.emit("PUTSTATIC", "H", "acc")
+        self.emit("RETURN_VALUE")
+        pcs = {}
+        pc = 0
+        for item in self.items:
+            if isinstance(item, tuple) and item[0] == "mark":
+                pcs[id(item[1])] = pc
+            else:
+                pc += 1
+        out = []
+        for item in self.items:
+            if isinstance(item, Instr):
+                out.append(item)
+            elif item[0] == "mark":
+                continue
+            else:
+                out.append(Instr(item[0], pcs[id(item[1])]))
+        return out
+
+
+INPUTS = [(0, 0), (1, -1), (-7, 3), (40, 2)]
+
+
+class TestDifferentialEquivalence:
+    @given(int_exprs(), st.integers(0, 2 ** 32))
+    @settings(max_examples=40, deadline=None)
+    def test_obfuscated_reencoding_proves_equal_and_runs_equal(
+        self, tree, seed
+    ):
+        plain = Emitter().assemble(tree)
+        obfuscated = Emitter(
+            rng=random.Random(seed), temp_base=5, temp_stride=3
+        ).assemble(tree)
+        old = mk(plain)
+        new = mk(obfuscated)
+        verdict = methods_equivalent(old, new)
+        assert verdict.equivalent, (
+            f"{verdict.reason}\nplain: {plain}\nobf: {obfuscated}"
+        )
+        for args in INPUTS:
+            assert run_body(plain, args) == run_body(obfuscated, args)
+
+    @given(int_exprs(), st.integers(0, 2 ** 32))
+    @settings(max_examples=25, deadline=None)
+    def test_mutations_judged_equivalent_must_behave_identically(
+        self, tree, seed
+    ):
+        """The soundness direction: mutate the program; if the engine
+        still claims equivalence, execution must agree everywhere we
+        look."""
+        rng = random.Random(seed)
+        mutated = _mutate(tree, rng)
+        old = mk(Emitter().assemble(tree))
+        new = mk(Emitter().assemble(mutated))
+        if methods_equivalent(old, new).equivalent:
+            for args in INPUTS:
+                assert run_body(old.instructions, args) == run_body(
+                    new.instructions, args
+                )
+
+
+def _mutate(tree, rng):
+    """A type-preserving random mutation — usually behavior-changing."""
+    kind = tree[0]
+    if kind == "const":
+        return ("const", tree[1] + rng.choice([-1, 1, 10]))
+    if kind == "bconst":
+        return ("bconst", not tree[1])
+    if kind == "arg":
+        return ("arg", 1 - tree[1])
+    if kind in ("neg", "not", "temp"):
+        return (kind, _mutate(tree[1], rng))
+    if kind in ("arith", "cmp"):
+        _, op, left, right = tree
+        ops = _ARITH_OPS if kind == "arith" else _CMP_OPS
+        choice = rng.randrange(3)
+        if choice == 0:
+            return (kind, rng.choice(ops), left, right)
+        if choice == 1:
+            return (kind, op, right, left)
+        return (kind, op, _mutate(left, rng), right)
+    _, cond, then_tree, else_tree = tree
+    return ("cond", cond, else_tree, then_tree)
+
+
+# ---------------------------------------------------------------------------
+# UPT integration: downgrades and the specification format
+
+
+DOWNGRADE_V1 = """
+class Calc {
+    static int classify(int x) { if (x < 3) { return 1; } return 2; }
+    static int scale(int x) { return x * 2; }
+}
+class Main { static void main() { } }
+"""
+
+# classify is re-encoded (provably equivalent), scale genuinely changes.
+DOWNGRADE_V2 = """
+class Calc {
+    static int classify(int x) { if (x >= 3) { return 2; } else { return 1; } }
+    static int scale(int x) { return x * 3; }
+}
+class Main { static void main() { } }
+"""
+
+
+class TestDiffProgramsDowngrade:
+    def _specs(self):
+        old = compile_source(DOWNGRADE_V1, version="1.0")
+        new = compile_source(DOWNGRADE_V2, version="2.0")
+        raw = diff_programs(old, new, "1.0", "2.0", minimize=False)
+        minimized = diff_programs(old, new, "1.0", "2.0")
+        return raw, minimized
+
+    def test_equivalent_body_change_downgraded(self):
+        raw, minimized = self._specs()
+        classify = ("Calc", "classify", "(I)I")
+        scale = ("Calc", "scale", "(I)I")
+        assert classify in raw.method_body_updates
+        assert classify not in minimized.method_body_updates
+        assert classify in minimized.equivalent_methods
+        assert "proven equivalent" in minimized.minimization_reasons[classify]
+        # the real change survives, with its non-proof recorded
+        assert scale in minimized.method_body_updates
+        assert "not proven" in minimized.minimization_reasons[scale]
+
+    def test_restricted_set_strictly_shrinks(self):
+        raw, minimized = self._specs()
+        assert minimized.restricted_size() < raw.restricted_size()
+        assert minimized.restricted_keys() <= raw.restricted_keys()
+
+    def test_spec_roundtrip_preserves_minimization_fields(self):
+        _, minimized = self._specs()
+        restored = UpdateSpecification.from_json(minimized.to_json())
+        assert restored.minimized
+        assert restored.equivalent_methods == minimized.equivalent_methods
+        assert restored.escaped_indirect == minimized.escaped_indirect
+        assert restored.minimization_reasons == minimized.minimization_reasons
+
+    def test_verdict_shape(self):
+        verdict = Verdict(True, "why")
+        assert verdict.equivalent and verdict.reason == "why"
