@@ -1,0 +1,37 @@
+"""Per-update pause breakdowns for all 22 bundled updates.
+
+The harness behind ``BENCH_pauses.json``: every bundled update runs under
+light load with full tracing, and the per-phase pause accounting must be
+sound — each update's phase breakdown sums to no more than its end-to-end
+latency, and every span tree validates (aborted and rolled-back updates
+included).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.harness.pauses import render_pause_table, run_pause_sweep
+
+
+@pytest.mark.benchmark(group="pause-sweep")
+def test_pause_sweep(benchmark):
+    rows = benchmark.pedantic(run_pause_sweep, rounds=1, iterations=1)
+    emit("pause_sweep", render_pause_table(rows))
+
+    assert len(rows) == 22
+    statuses = [row.status for row in rows]
+    assert statuses.count("applied") == 20  # the paper's 20-of-22
+    assert statuses.count("aborted") == 2
+    unsound = {
+        f"{row.app} {row.from_version}->{row.to_version}": problems
+        for row in rows if (problems := row.soundness_problems())
+    }
+    assert unsound == {}
+    # The OSR-requiring update shows OSR work in its breakdown.
+    osr_row = next(
+        row for row in rows
+        if (row.app, row.from_version, row.to_version)
+        == ("javaemail", "1.3.1", "1.3.2")
+    )
+    assert osr_row.osr_frames >= 1
+    assert osr_row.phases.get("osr", 0.0) > 0.0

@@ -10,7 +10,13 @@ default transformer (a class update).
 Run:  python examples/quickstart.py
 """
 
-from repro import VM, UpdateEngine, compile_source, prepare_update
+from repro.api import (
+    VM,
+    UpdateEngine,
+    UpdateRequest,
+    compile_source,
+    prepare_update,
+)
 
 V1_SOURCE = """
 class Ticker {
@@ -64,7 +70,8 @@ def main() -> None:
     print()
 
     # Signal the update at t=110ms of simulated time, mid-run.
-    vm.events.schedule(110, lambda: engine.request_update(prepared))
+    request = UpdateRequest(prepared)
+    vm.events.schedule(110, lambda: engine.submit(request))
     vm.run(until_ms=2_000)
 
     print("Program output (the update lands mid-loop):")

@@ -20,9 +20,11 @@ Three scenarios, each on a purpose-built toy program:
 Run:  python examples/update_mechanics_tour.py
 """
 
-from repro import (
+from repro.api import (
     VM,
     UpdateEngine,
+    UpdateRequest,
+    RetryPolicy,
     compile_source,
     derive_identity_mapping,
     prepare_update,
@@ -44,7 +46,8 @@ def run_scenario(title, v1_source, v2_source, request_at, timeout_ms=1_000,
         prepared.active_method_mappings[(class_name, method_name, descriptor)] = (
             derive_identity_mapping(old_method, new_method)
         )
-    vm.events.schedule(request_at, lambda: engine.request_update(prepared, timeout_ms))
+    request = UpdateRequest(prepared, policy=RetryPolicy(timeout_ms=timeout_ms))
+    vm.events.schedule(request_at, lambda: engine.submit(request))
     vm.run(until_ms=until_ms)
     result = engine.history[-1]
     print(f"--- {title}")

@@ -17,9 +17,11 @@ The package provides:
   with protocol load generators (:mod:`repro.net`), and the experiment
   harnesses that regenerate every table and figure (:mod:`repro.harness`).
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro import VM, UpdateEngine, compile_source, prepare_update
+    from repro.api import (
+        VM, UpdateEngine, UpdateRequest, compile_source, prepare_update,
+    )
 
     v1 = compile_source(SOURCE_V1, version="1.0")
     v2 = compile_source(SOURCE_V2, version="2.0")
@@ -27,14 +29,15 @@ Quickstart::
     vm.boot(v1)
     vm.start_main("Main")
     engine = UpdateEngine(vm)
-    result = engine.request_update(prepare_update(v1, v2, "1.0", "2.0"))
+    result = engine.submit(UpdateRequest(prepare_update(v1, v2, "1.0", "2.0")))
     vm.run(until_ms=1_000)
     assert result.succeeded
 """
 
 from .compiler.compile import compile_prelude, compile_source
 from .compiler.jastadd import compile_transformers
-from .dsu.engine import UpdateEngine, UpdateResult
+from .dsu.engine import UpdateEngine, UpdateRequest, UpdateResult
+from .dsu.safepoint import RetryPolicy
 from .dsu.specification import UpdateSpecification
 from .dsu.upt import (
     ActiveMethodMapping,
@@ -45,6 +48,7 @@ from .dsu.upt import (
     version_prefix,
 )
 from .dsu.validation import validate_update
+from .obs import Metrics, Tracer
 from .vm.clock import CostModel
 from .vm.vm import VM
 
@@ -54,7 +58,11 @@ __all__ = [
     "VM",
     "CostModel",
     "UpdateEngine",
+    "UpdateRequest",
     "UpdateResult",
+    "RetryPolicy",
+    "Tracer",
+    "Metrics",
     "UpdateSpecification",
     "PreparedUpdate",
     "compile_source",

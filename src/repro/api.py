@@ -1,0 +1,95 @@
+"""The stable programmatic facade for driving dynamic updates.
+
+Everything a host program needs lives here: compile two program versions,
+diff them into a :class:`PreparedUpdate`, wrap it in an
+:class:`UpdateRequest` describing *how* the update should be attempted
+(retry policy, lint pre-flight, tracer), and hand it to
+:meth:`UpdateEngine.submit`.
+
+Typical use::
+
+    from repro.api import (
+        VM, UpdateEngine, UpdateRequest, RetryPolicy,
+        compile_source, prepare_update,
+    )
+
+    v1 = compile_source(SOURCE_V1, version="1.0")
+    v2 = compile_source(SOURCE_V2, version="2.0")
+    vm = VM()
+    vm.boot(v1)
+    vm.start_main("Main")
+    engine = UpdateEngine(vm)
+    request = UpdateRequest(
+        prepare_update(v1, v2, "1.0", "2.0"),
+        policy=RetryPolicy(timeout_ms=15_000.0, retries=2),
+        lint="warn",
+    )
+    result = engine.submit(request)
+    vm.run(until_ms=1_000)
+    assert result.succeeded
+
+Observability rides along: every ``submit`` emits a phase-attributed span
+tree on ``vm.tracer`` and counters/histograms on ``vm.metrics``; export
+them with :func:`write_chrome_trace` / :meth:`~repro.obs.Metrics.snapshot`.
+
+``UpdateEngine.request_update(...)`` is the legacy positional-argument
+entry point; it survives as a deprecated shim that builds an
+:class:`UpdateRequest` and forwards to :meth:`~UpdateEngine.submit`.
+"""
+
+from __future__ import annotations
+
+from .compiler.compile import compile_prelude, compile_source
+from .compiler.jastadd import compile_transformers
+from .dsu.engine import (
+    ABORTED,
+    APPLIED,
+    UpdateEngine,
+    UpdateRequest,
+    UpdateResult,
+)
+from .dsu.safepoint import RetryPolicy
+from .dsu.specification import UpdateSpecification
+from .dsu.upt import (
+    ActiveMethodMapping,
+    PreparedUpdate,
+    derive_identity_mapping,
+    diff_programs,
+    prepare_update,
+    version_prefix,
+)
+from .dsu.validation import validate_update
+from .obs import Metrics, Tracer
+from .obs.export import chrome_trace, render_span_tree, write_chrome_trace
+from .vm.clock import CostModel
+from .vm.vm import VM
+
+__all__ = [
+    # runtime
+    "VM",
+    "CostModel",
+    # update pipeline
+    "UpdateEngine",
+    "UpdateRequest",
+    "UpdateResult",
+    "RetryPolicy",
+    "UpdateSpecification",
+    "PreparedUpdate",
+    "APPLIED",
+    "ABORTED",
+    "compile_source",
+    "compile_prelude",
+    "compile_transformers",
+    "diff_programs",
+    "prepare_update",
+    "version_prefix",
+    "validate_update",
+    "ActiveMethodMapping",
+    "derive_identity_mapping",
+    # observability
+    "Tracer",
+    "Metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+]

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from .compiler.compile import compile_source
 from .bytecode.disassembler import disassemble_class
-from .dsu.engine import UpdateEngine
+from .dsu.engine import UpdateEngine, UpdateRequest
 from .dsu.upt import diff_programs, prepare_update
 from .vm.vm import VM
 
@@ -133,12 +133,14 @@ def cmd_update(args) -> int:
     except ValueError as bad:
         print(f"error: {bad}", file=sys.stderr)
         return 2
-    vm.events.schedule(
-        args.at,
-        lambda: engine.request_update(prepared, policy=policy,
-                                      lint=args.dsu_lint),
-    )
+    request = UpdateRequest(prepared, policy=policy, lint=args.dsu_lint)
+    vm.events.schedule(args.at, lambda: engine.submit(request))
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(vm.tracer, args.trace_out, metrics=vm.metrics)
+        print(f"[trace] wrote {args.trace_out}", file=sys.stderr)
     for line in vm.console:
         print(line)
     result = engine.history[-1] if engine.history else None
@@ -158,6 +160,39 @@ def cmd_update(args) -> int:
           + detail,
           file=sys.stderr)
     return 0 if result.succeeded else 1
+
+
+def cmd_trace(args) -> int:
+    """Run one bundled update under light load and export its span tree."""
+    from .apps.registry import APPS, update_pairs
+    from .harness.pauses import measure_pause_with_vm, render_pause_table
+    from .obs.export import render_span_tree
+
+    if args.app not in APPS:
+        print(f"error: unknown app {args.app!r} "
+              f"(choose from {', '.join(APPS)})", file=sys.stderr)
+        return 2
+    from_version, separator, to_version = args.update.partition("-")
+    if not separator or (from_version, to_version) not in update_pairs(args.app):
+        pairs = ", ".join(f"{a}-{b}" for a, b in update_pairs(args.app))
+        print(f"error: unknown update {args.update!r} for {args.app} "
+              f"(choose from {pairs})", file=sys.stderr)
+        return 2
+    out = args.trace_out or f"{args.app}-{from_version}-{to_version}.trace.json"
+    row, vm = measure_pause_with_vm(
+        args.app, from_version, to_version,
+        request_at_ms=args.at, timeout_ms=args.timeout_ms,
+        until_ms=args.until_ms, trace_out=out,
+    )
+    print(render_pause_table([row]))
+    if args.spans:
+        print()
+        print(render_span_tree(vm.tracer, min_duration_ms=args.min_span_ms))
+    print(f"[trace] wrote {out} (open in Perfetto or chrome://tracing)",
+          file=sys.stderr)
+    for problem in row.soundness_problems():
+        print(f"[trace] UNSOUND: {problem}", file=sys.stderr)
+    return 1 if row.soundness_problems() else 0
 
 
 def _lint_superset_gate(boot_info, prepared, report):
@@ -417,7 +452,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the static update-safety analyzer before "
                              "signalling the VM; 'strict' refuses updates "
                              "with error-severity diagnostics up front")
+    update.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the run's span tree as Chrome "
+                             "trace_event JSON (Perfetto-loadable)")
     update.set_defaults(fn=cmd_update)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one bundled update under light load and export a "
+             "phase-attributed Chrome trace plus a pause breakdown",
+    )
+    trace.add_argument("--app", required=True,
+                       help="bundled application (jetty, javaemail, crossftp)")
+    trace.add_argument("--update", required=True, metavar="FROM-TO",
+                       help="update pair, e.g. 1.3.1-1.3.2")
+    trace.add_argument("--at", type=float, default=300.0,
+                       help="simulated ms at which to request the update")
+    trace.add_argument("--timeout-ms", type=float, default=1_000.0,
+                       help="per-round DSU safe-point window in simulated ms")
+    trace.add_argument("--until-ms", type=float, default=4_500.0)
+    trace.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="output path (default: APP-FROM-TO.trace.json)")
+    trace.add_argument("--spans", action="store_true",
+                       help="also print the span tree to stdout")
+    trace.add_argument("--min-span-ms", type=float, default=0.0,
+                       help="with --spans: hide spans shorter than this")
+    trace.set_defaults(fn=cmd_trace)
 
     lint = sub.add_parser(
         "dsu-lint",

@@ -19,10 +19,13 @@ Coordinates the whole dynamic update (paper §3):
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..bytecode.classfile import CLINIT_NAME, ClassFile
+from ..obs import Tracer
 from ..vm.classloader import ClassLoadError
 from ..vm.heap import OutOfMemoryError
 from ..vm.machinecode import MethodEntry
@@ -170,8 +173,45 @@ class UpdateResult:
         return sum(self.phase_ms.values())
 
     @property
+    def safepoint_wait_ms(self) -> float:
+        """Simulated ms between the request and the pause starting: the
+        time spent waiting for a DSU safe point (the paper's dominant
+        disruption for blocked updates). For an aborted attempt this is
+        everything up to the abort minus any pause work done."""
+        if self.finished_at_ms <= self.requested_at_ms:
+            return 0.0
+        return max(
+            0.0,
+            self.finished_at_ms - self.requested_at_ms - self.total_pause_ms,
+        )
+
+    @property
     def succeeded(self) -> bool:
         return self.status == APPLIED
+
+
+@dataclass
+class UpdateRequest:
+    """One dynamic-update submission — the :mod:`repro.api` unit of work.
+
+    Collapses the kwargs sprawl (``timeout_ms``/``retries``/``backoff``/
+    ``lint`` duplicated across the CLI, the harness and the microbench)
+    into a single object consumed by :meth:`UpdateEngine.submit`.
+    """
+
+    prepared: PreparedUpdate
+    #: safe-point acquisition schedule (first window, retries, backoff)
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: ``"off"`` | ``"warn"`` | ``"strict"`` — the dsu-lint pre-flight mode
+    lint: str = "off"
+    #: optional tracer override: when set, the VM's tracer is replaced so
+    #: the whole update (and everything the VM does around it) lands in
+    #: this trace instead of the default per-VM one
+    tracer: Optional[Tracer] = None
+
+    def __post_init__(self):
+        if self.lint not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown lint mode {self.lint!r}")
 
 
 class _ActiveUpdate:
@@ -186,6 +226,9 @@ class _ActiveUpdate:
         self.round_deadline_ms = started_ms + policy.round_timeout_ms(0)
         self.update_map: Dict[int, RVMClass] = {}
         self.renamed: List[RVMClass] = []
+        #: trace spans open for the whole update / the current round
+        self.update_span = None
+        self.round_span = None
 
 
 class UpdateEngine:
@@ -233,39 +276,67 @@ class UpdateEngine:
         policy: Optional[RetryPolicy] = None,
         lint: str = "off",
     ) -> UpdateResult:
+        """Deprecated kwargs-style shim over :meth:`submit`.
+
+        Build an :class:`UpdateRequest` (the :mod:`repro.api` facade) and
+        call ``submit(request)`` instead; this wrapper only repackages the
+        sprawl of keyword arguments into that object.
+        """
+        warnings.warn(
+            "UpdateEngine.request_update(...) is deprecated; build a "
+            "repro.api.UpdateRequest and call UpdateEngine.submit(request)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if policy is None:
+            policy = RetryPolicy(timeout_ms, retries, backoff)
+        return self.submit(UpdateRequest(prepared, policy=policy, lint=lint))
+
+    def submit(self, request: UpdateRequest) -> UpdateResult:
         """Signal the VM that an update is available (paper step 2). The
         returned result object is filled in as the update progresses.
 
-        Safe-point acquisition follows a :class:`RetryPolicy`: the first
-        round waits ``timeout_ms``; each of the ``retries`` further rounds
-        multiplies the previous round's window by ``backoff`` before the
-        final abort. Pass ``policy`` to supply the three as one object.
+        Safe-point acquisition follows ``request.policy``: the first round
+        waits ``timeout_ms``; each further round multiplies the previous
+        round's window by ``backoff`` before the final abort.
 
-        ``lint`` runs the :mod:`repro.analysis` update-safety analyzer
-        before the VM is signalled: ``"warn"`` records its findings on the
-        result; ``"strict"`` additionally refuses an update with
-        error-severity diagnostics up front — an immediate, attributable
-        pre-flight abort instead of spending the whole retry/backoff
-        budget discovering the same blocker at runtime.
+        ``request.lint`` runs the :mod:`repro.analysis` update-safety
+        analyzer before the VM is signalled: ``"warn"`` records its
+        findings on the result; ``"strict"`` additionally refuses an
+        update with error-severity diagnostics up front — an immediate,
+        attributable pre-flight abort instead of spending the whole
+        retry/backoff budget discovering the same blocker at runtime.
+
+        The whole attempt is traced: a top-level ``dsu.update`` span opens
+        here and closes when the update lands or aborts, with one child
+        span per safe-point acquisition round and per update phase.
         """
-        if lint not in ("off", "warn", "strict"):
-            raise ValueError(f"unknown lint mode {lint!r}")
         if self.active is not None:
             raise RuntimeError("an update is already in progress")
-        if policy is None:
-            policy = RetryPolicy(timeout_ms, retries, backoff)
+        prepared = request.prepared
+        policy = request.policy
         vm = self.vm
+        if request.tracer is not None:
+            vm.tracer = request.tracer
+        tracer = vm.tracer
+        vm.metrics.inc("dsu.updates_requested")
         result = UpdateResult(prepared.old_version, prepared.new_version)
         result.requested_at_ms = vm.clock.now_ms
         result.rounds_allowed = policy.rounds
-        if lint != "off":
+        update_span = tracer.begin(
+            "dsu.update", "dsu",
+            old_version=prepared.old_version,
+            new_version=prepared.new_version,
+        )
+        if request.lint != "off":
             from ..analysis import analyze_update
 
-            report = analyze_update(dict(vm.classfiles), prepared)
+            with tracer.span("dsu.preflight.lint", "dsu", mode=request.lint):
+                report = analyze_update(dict(vm.classfiles), prepared)
             result.lint_errors = len(report.errors())
             result.lint_warnings = len(report.warnings())
             result.lint_predicted_abort = report.predicted_abort
-            if lint == "strict" and report.has_errors:
+            if request.lint == "strict" and report.has_errors:
                 first = report.errors()[0]
                 result.status = ABORTED
                 result.failed_phase = PHASE_PREFLIGHT
@@ -275,9 +346,24 @@ class UpdateEngine:
                 )
                 result.finished_at_ms = vm.clock.now_ms
                 self.history.append(result)
+                vm.metrics.inc("dsu.updates_aborted")
+                tracer.end(update_span, status=ABORTED,
+                           reason=REASON_LINT_REJECTED)
                 return result
-        sets = resolve_restricted(vm, prepared.spec)
+        with tracer.span("dsu.resolve-restricted", "dsu") as resolve_span:
+            sets = resolve_restricted(vm, prepared.spec)
+            resolve_span.args.update(
+                hard=len(sets.hard), recompile=len(sets.recompile)
+            )
+        vm.metrics.observe(
+            "dsu.restricted_set_size", len(sets.hard) + len(sets.recompile)
+        )
         self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
+        self.active.update_span = update_span
+        self.active.round_span = tracer.begin(
+            "dsu.safepoint.round", "dsu", round=0,
+            window_ms=policy.round_timeout_ms(0),
+        )
         self.history.append(result)
         vm.update_pending = True
         vm.yield_flag = True
@@ -308,11 +394,19 @@ class UpdateEngine:
         assert active is not None
         vm = self.vm
         policy = active.policy
+        self._close_round_span(
+            outcome="expired",
+            blockers=sorted(active.result.blockers_seen),
+        )
         if active.round + 1 < policy.rounds:
             active.round += 1
             active.result.retry_rounds = active.round
             active.round_deadline_ms = (
                 vm.clock.now_ms + policy.round_timeout_ms(active.round)
+            )
+            active.round_span = vm.tracer.begin(
+                "dsu.safepoint.round", "dsu", round=active.round,
+                window_ms=policy.round_timeout_ms(active.round),
             )
             # Re-arm the yield flag so the next world-stop re-scans the
             # stacks even if no return barrier fired in the meantime.
@@ -335,6 +429,15 @@ class UpdateEngine:
             reason_code=reason_code,
         )
 
+    def _close_round_span(self, **args) -> None:
+        """End the current safe-point-round span, if one is open."""
+        active = self.active
+        if active is None or active.round_span is None:
+            return
+        if not active.round_span.closed:
+            self.vm.tracer.end(active.round_span, **args)
+        active.round_span = None
+
     def _world_stopped(self) -> None:
         active = self.active
         if active is None:
@@ -346,23 +449,44 @@ class UpdateEngine:
             return
         active.result.attempts += 1
         injector = self.fault_injector
+        scan_span = vm.tracer.begin(
+            "dsu.safepoint.scan", "dsu", attempt=active.result.attempts
+        )
         if injector is not None and injector.blocks_safepoint():
             # Injected blocker: behave exactly like a blocked scan with no
             # barrier to install — defer and wait for the round deadline.
             active.result.blockers_seen.add("<injected-safepoint-blocker>")
             active.result.injected_faults = list(injector.fired)
+            vm.tracer.end(scan_span, safe=False, injected_blocker=True)
             vm.update_pending = False
             vm.yield_flag = False
             return
         scan = scan_stacks(vm, active.sets, active.prepared.active_method_mappings)
         if scan.is_safe:
+            vm.tracer.end(
+                scan_span, safe=True,
+                osr_candidates=len(scan.osr_candidates),
+                extended_osr=len(scan.extended_osr),
+            )
+            self._close_round_span(outcome="acquired", round=active.round)
             self._apply(scan)
             return
+        # Per-thread blocking-frame attribution: which method of which
+        # thread kept the world from being a DSU safe point this time.
+        blocking_by_thread: Dict[str, List[str]] = {}
+        for thread, frame, why in scan.blocking:
+            blocking_by_thread.setdefault(thread.name, []).append(
+                f"{frame.code.entry.qualified_name} ({why})"
+            )
+        vm.tracer.end(scan_span, safe=False, blocking=blocking_by_thread)
         active.result.blockers_seen.update(scan.blocking_method_names())
-        installed = install_return_barriers(scan)
+        with vm.tracer.span("dsu.safepoint.arm-barriers", "dsu") as arm_span:
+            installed = install_return_barriers(scan)
+            arm_span.args["installed"] = installed
         if installed:
             active.result.used_return_barriers = True
             active.result.return_barriers_installed += installed
+            vm.metrics.inc("dsu.return_barriers_installed", installed)
         # Defer: let threads run so restricted methods can return. The
         # barrier (or the round-deadline event) re-arms the check.
         vm.update_pending = False
@@ -406,6 +530,15 @@ class UpdateEngine:
         self._old_copy_of.clear()
         vm.update_pending = False
         vm.yield_flag = False
+        self._close_round_span(outcome="aborted")
+        if active.update_span is not None and not active.update_span.closed:
+            vm.tracer.end(
+                active.update_span, status=ABORTED,
+                failed_phase=phase, reason=reason_code,
+                rolled_back=rolled_back,
+            )
+        vm.metrics.inc("dsu.updates_aborted")
+        vm.metrics.observe("dsu.safepoint_wait_ms", result.safepoint_wait_ms)
         self.active = None
 
     # ------------------------------------------------------------------
@@ -435,6 +568,7 @@ class UpdateEngine:
             )
             phase_start = now
 
+        tracer = vm.tracer
         current_phase = PHASE_CLASSLOAD
         # An allocation-triggered collection inside the critical section
         # (e.g. from a <clinit> or transformer) would move objects under
@@ -444,39 +578,51 @@ class UpdateEngine:
         vm.gc_disabled = True
         try:
             # Phase: thread suspension (already stopped; account the cost).
-            vm.clock.tick(
-                vm.clock.costs.thread_suspend * max(1, len(vm.runnable_threads()))
-            )
-            end_phase("suspend")
+            with tracer.span("dsu.suspend", "dsu",
+                             threads=len(vm.runnable_threads())):
+                vm.clock.tick(
+                    vm.clock.costs.thread_suspend
+                    * max(1, len(vm.runnable_threads()))
+                )
+                end_phase("suspend")
 
             # Phase: install modified classes and transformers.
-            self._install_classes(active)
-            end_phase("classload")
+            with tracer.span("dsu.classload", "dsu") as classload_span:
+                self._install_classes(active)
+                classload_span.args["classes"] = result.classes_installed
+                end_phase("classload")
 
             # Phase: OSR of base-compiled category-(2) frames — after class
             # installation, as the paper requires (§3.2) — and extended OSR
             # of mapped changed-method frames (§3.5).
             current_phase = PHASE_OSR
-            if scan.osr_candidates:
-                if injector is not None:
-                    injector.on_osr(
-                        scan.osr_candidates[0].code.entry.qualified_name
-                    )
-                result.used_osr = True
-                result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
-            for frame, key in scan.extended_osr:
-                mapping = active.prepared.active_method_mappings[key]
-                if injector is not None:
-                    injector.on_osr(frame.code.entry.qualified_name)
-                osr_replace_mapped(vm, frame, mapping.pc_map, mapping.locals_map)
-                result.used_osr = True
-                result.extended_osr_frames += 1
-            end_phase("osr")
+            with tracer.span("dsu.osr", "dsu") as osr_span:
+                if scan.osr_candidates:
+                    if injector is not None:
+                        injector.on_osr(
+                            scan.osr_candidates[0].code.entry.qualified_name
+                        )
+                    result.used_osr = True
+                    result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
+                for frame, key in scan.extended_osr:
+                    mapping = active.prepared.active_method_mappings[key]
+                    if injector is not None:
+                        injector.on_osr(frame.code.entry.qualified_name)
+                    osr_replace_mapped(vm, frame, mapping.pc_map,
+                                       mapping.locals_map)
+                    result.used_osr = True
+                    result.extended_osr_frames += 1
+                osr_span.args.update(
+                    frames=result.osr_frames,
+                    extended_frames=result.extended_osr_frames,
+                )
+                end_phase("osr")
 
             # Phase: whole-heap collection with the update map. The double
             # copy of updated objects "adds temporary memory pressure"
             # (§3.5); if to-space cannot hold it, the abort un-flips back
             # to from-space, where the old-layout originals are intact.
+            # (vm.collect emits its own nested gc.collect span.)
             current_phase = PHASE_GC
             txn.note_gc_started()
             stats = vm.collect(
@@ -496,8 +642,15 @@ class UpdateEngine:
             )
             vm.transform_read_barrier = self.auto_read_barrier
             try:
-                self._run_class_transformers(active)
-                self._run_object_transformers(active, stats.update_log)
+                with tracer.span("dsu.transform", "dsu") as transform_span:
+                    with tracer.span("dsu.transform.classes", "dsu"):
+                        self._run_class_transformers(active)
+                    # Replaying the update log the collection built is the
+                    # per-object transformer work (§3.4).
+                    with tracer.span("dsu.transform.log-replay", "dsu",
+                                     log_entries=len(stats.update_log)):
+                        self._run_object_transformers(active, stats.update_log)
+                    transform_span.args["objects"] = stats.objects_updated
             finally:
                 vm.force_transform_hook = None
                 vm.transform_read_barrier = False
@@ -508,22 +661,23 @@ class UpdateEngine:
             # transformation class is only active and available during the
             # update, the VM may delete it after transformation", §2.3).
             current_phase = PHASE_CLEANUP
-            for _, new_address in stats.update_log:
-                vm.objects.set_status(new_address, 0)
-            # "Once it processes all pairs, the log is deleted, making the
-            # duplicate old versions unreachable" (§3.4).
-            stats.update_log.clear()
-            self._old_copy_of.clear()
-            for old_class in active.renamed:
-                for name, slot in old_class.static_slots.items():
-                    if old_class.static_is_ref.get(name):
-                        vm.jtoc.write(slot, 0)
-            self._retire_transformers(active)
-            if self.eager_old_copy_reclaim:
-                # The duplicates lived in a segregated region: give it back
-                # now rather than waiting for the next collection.
-                vm.heap.reset_ceiling()
-            end_phase("cleanup")
+            with tracer.span("dsu.cleanup", "dsu"):
+                for _, new_address in stats.update_log:
+                    vm.objects.set_status(new_address, 0)
+                # "Once it processes all pairs, the log is deleted, making
+                # the duplicate old versions unreachable" (§3.4).
+                stats.update_log.clear()
+                self._old_copy_of.clear()
+                for old_class in active.renamed:
+                    for name, slot in old_class.static_slots.items():
+                        if old_class.static_is_ref.get(name):
+                            vm.jtoc.write(slot, 0)
+                self._retire_transformers(active)
+                if self.eager_old_copy_reclaim:
+                    # The duplicates lived in a segregated region: give it
+                    # back now rather than waiting for the next collection.
+                    vm.heap.reset_ceiling()
+                end_phase("cleanup")
         except Exception as failure:  # noqa: BLE001 — every failure aborts
             self._abort_apply(txn, current_phase, failure)
             return
@@ -535,6 +689,16 @@ class UpdateEngine:
         result.finished_at_ms = vm.clock.now_ms
         vm.update_pending = False
         vm.yield_flag = False
+        if active.update_span is not None and not active.update_span.closed:
+            tracer.end(
+                active.update_span, status=APPLIED,
+                pause_ms=round(result.total_pause_ms, 6),
+                objects_transformed=result.objects_transformed,
+            )
+        vm.metrics.inc("dsu.updates_applied")
+        vm.metrics.observe("dsu.pause_ms", result.total_pause_ms)
+        vm.metrics.observe("dsu.safepoint_wait_ms", result.safepoint_wait_ms)
+        vm.metrics.observe("dsu.objects_transformed", result.objects_transformed)
         self.active = None
 
     def _abort_apply(self, txn: UpdateTransaction, current_phase: str,
@@ -544,7 +708,10 @@ class UpdateEngine:
         active = self.active
         assert active is not None
         phase, reason_code, message = _classify_failure(current_phase, failure)
-        txn.rollback()
+        with self.vm.tracer.span("dsu.rollback", "dsu", failed_phase=phase,
+                                 reason=reason_code):
+            txn.rollback()
+        self.vm.metrics.inc("dsu.rollbacks")
         if self.fault_injector is not None:
             active.result.injected_faults = list(self.fault_injector.fired)
         self._abort(message, phase=phase, reason_code=reason_code,
@@ -780,6 +947,7 @@ class UpdateEngine:
             entry = vm.methods.lookup(TRANSFORMERS_CLASS, "jvolveClass", descriptor)
             if entry is not None:
                 vm.run_static_method_synchronously(entry, [0])
+                vm.metrics.inc("dsu.transformer_invocations")
 
     def _run_object_transformers(self, active: _ActiveUpdate, update_log) -> None:
         vm = self.vm
@@ -819,6 +987,7 @@ class UpdateEngine:
         )
         if entry is not None:
             vm.run_static_method_synchronously(entry, [new_address, old_address])
+            vm.metrics.inc("dsu.transformer_invocations")
         # Mark transformed *before* releasing in-progress status.
         vm.objects.set_status(new_address, 0)
         self._transform_in_progress.discard(new_address)

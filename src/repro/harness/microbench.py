@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..compiler.compile import compile_source
-from ..dsu.engine import UpdateEngine
+from ..dsu.engine import UpdateEngine, UpdateRequest
+from ..dsu.safepoint import RetryPolicy
 from ..dsu.upt import prepare_update
 from ..vm.vm import VM
 
@@ -149,7 +150,9 @@ def run_microbench(
     new_classfiles = compile_source(MICRO_V2, version="micro2")
     prepared = prepare_update(old_classfiles, new_classfiles, "micro1", "micro2")
     engine = UpdateEngine(vm)
-    result = engine.request_update(prepared, timeout_ms=timeout_ms)
+    result = engine.submit(
+        UpdateRequest(prepared, policy=RetryPolicy(timeout_ms=timeout_ms))
+    )
     vm.run(max_instructions=100_000_000)
     if not result.succeeded:
         raise RuntimeError(f"microbenchmark update failed: {result.reason}")

@@ -1,0 +1,232 @@
+"""Per-phase pause breakdowns for every bundled update.
+
+Replays the experience sweep's light-load scenario for each of the 22
+bundled update pairs and records where the pause time went — suspend,
+class loading, OSR, the update GC, transformers, cleanup — plus the time
+spent *waiting* for a DSU safe point before the pause even began. The
+sweep doubles as a tracing soundness check: every run's span tree must
+validate (no unclosed spans, children inside parents, siblings ordered)
+and the per-phase breakdown must never sum to more than the end-to-end
+update latency.
+
+Artifacts:
+
+* ``BENCH_pauses.json`` — machine-readable per-update rows (the CI job
+  uploads this and fails on any soundness violation);
+* a human table via :func:`render_pause_table`;
+* optionally one Chrome ``trace_event`` file per run for Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.registry import APPS, update_pairs
+from ..obs.export import write_chrome_trace
+from .tables import _schedule_light_load
+from .updates import AppDriver
+
+#: tolerance when comparing simulated-millisecond sums
+_EPS_MS = 1e-6
+
+
+@dataclass
+class PauseRow:
+    """One update's pause accounting."""
+
+    app: str
+    from_version: str
+    to_version: str
+    status: str
+    #: per-phase pause in simulated ms (suspend/classload/osr/gc/transform/
+    #: cleanup — only phases that ran appear)
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: request -> pause-start wait for a DSU safe point
+    safepoint_wait_ms: float = 0.0
+    total_pause_ms: float = 0.0
+    #: request -> finished (applied or aborted), simulated ms
+    end_to_end_ms: float = 0.0
+    attempts: int = 0
+    rounds: int = 1
+    osr_frames: int = 0
+    objects_transformed: int = 0
+    #: problems reported by Tracer.validate() for this run (must be empty)
+    trace_problems: List[str] = field(default_factory=list)
+
+    @property
+    def phase_sum_ms(self) -> float:
+        return sum(self.phases.values())
+
+    def soundness_problems(self) -> List[str]:
+        """The invariants the CI job enforces."""
+        problems = list(self.trace_problems)
+        if self.phase_sum_ms > self.end_to_end_ms + _EPS_MS:
+            problems.append(
+                f"phase breakdown sums to {self.phase_sum_ms:.6f} ms > "
+                f"end-to-end {self.end_to_end_ms:.6f} ms"
+            )
+        return problems
+
+
+def measure_pause(
+    app: str,
+    from_version: str,
+    to_version: str,
+    request_at_ms: float = 300.0,
+    timeout_ms: float = 1_000.0,
+    until_ms: float = 4_500.0,
+    trace_out: Optional[str] = None,
+) -> PauseRow:
+    """Boot ``from_version`` under light load, apply one update, and return
+    its pause breakdown. With ``trace_out`` the run's full span tree is
+    written as Chrome ``trace_event`` JSON."""
+    row, _ = measure_pause_with_vm(
+        app, from_version, to_version, request_at_ms=request_at_ms,
+        timeout_ms=timeout_ms, until_ms=until_ms, trace_out=trace_out,
+    )
+    return row
+
+
+def measure_pause_with_vm(
+    app: str,
+    from_version: str,
+    to_version: str,
+    request_at_ms: float = 300.0,
+    timeout_ms: float = 1_000.0,
+    until_ms: float = 4_500.0,
+    trace_out: Optional[str] = None,
+) -> Tuple[PauseRow, "object"]:
+    """:func:`measure_pause`, but also hands back the VM so callers can
+    render the span tree or inspect the metrics registry."""
+    info = APPS[app]
+    driver = AppDriver(
+        app, info.versions, info.main_class,
+        transformer_overrides=info.transformer_overrides,
+    )
+    driver.boot(from_version)
+    _schedule_light_load(driver, app, info.port)
+    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms)
+    driver.run(until_ms=until_ms)
+    result = holder["result"]
+    vm = driver.vm
+    row = PauseRow(
+        app=app,
+        from_version=from_version,
+        to_version=to_version,
+        status=result.status,
+        phases={name: round(ms, 6) for name, ms in result.phase_ms.items()},
+        safepoint_wait_ms=round(result.safepoint_wait_ms, 6),
+        total_pause_ms=round(result.total_pause_ms, 6),
+        end_to_end_ms=round(
+            max(0.0, result.finished_at_ms - result.requested_at_ms), 6
+        ),
+        attempts=result.attempts,
+        rounds=result.retry_rounds + 1,
+        osr_frames=result.osr_frames + result.extended_osr_frames,
+        objects_transformed=result.objects_transformed,
+        trace_problems=vm.tracer.validate(),
+    )
+    if trace_out:
+        write_chrome_trace(
+            vm.tracer, trace_out, metrics=vm.metrics,
+            process_name=f"repro-vm {app} {from_version}->{to_version}",
+        )
+    return row, vm
+
+
+def run_pause_sweep(**kwargs) -> List[PauseRow]:
+    """Pause breakdowns for every bundled update of every application."""
+    rows = []
+    for app in APPS:
+        for from_version, to_version in update_pairs(app):
+            rows.append(measure_pause(app, from_version, to_version, **kwargs))
+    return rows
+
+
+_PHASE_ORDER = ("suspend", "classload", "osr", "gc", "transform", "cleanup")
+
+
+def render_pause_table(rows: List[PauseRow]) -> str:
+    """Human-readable pause breakdown, one line per update."""
+    lines = [
+        "Per-update pause breakdown (simulated ms)",
+        f"{'app':>10s} {'update':>16s} {'outcome':>8s} {'wait':>9s} "
+        + " ".join(f"{name:>9s}" for name in _PHASE_ORDER)
+        + f" {'pause':>9s} {'e2e':>9s} {'objs':>6s}",
+    ]
+    for row in rows:
+        update = f"{row.from_version}->{row.to_version}"
+        cells = " ".join(
+            (f"{row.phases[name]:>9.2f}" if name in row.phases else f"{'-':>9s}")
+            for name in _PHASE_ORDER
+        )
+        lines.append(
+            f"{row.app:>10s} {update:>16s} {row.status:>8s} "
+            f"{row.safepoint_wait_ms:>9.2f} {cells} "
+            f"{row.total_pause_ms:>9.2f} {row.end_to_end_ms:>9.2f} "
+            f"{row.objects_transformed:>6d}"
+        )
+    bad = [row for row in rows if row.soundness_problems()]
+    lines.append(
+        f"{len(rows)} updates measured; "
+        + (f"{len(bad)} with soundness problems"
+           if bad else "all pause breakdowns sound")
+    )
+    return "\n".join(lines)
+
+
+def pause_report(rows: List[PauseRow]) -> dict:
+    """The ``BENCH_pauses.json`` payload."""
+    return {
+        "benchmark": "pause-breakdown",
+        "clock": "simulated",
+        "updates": [asdict(row) for row in rows],
+        "problems": {
+            f"{row.app} {row.from_version}->{row.to_version}": problems
+            for row in rows
+            if (problems := row.soundness_problems())
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.pauses",
+        description="per-phase pause breakdowns for all bundled updates",
+    )
+    parser.add_argument("--out", default="BENCH_pauses.json",
+                        help="where to write the JSON artifact")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="also write one sample Chrome trace (the "
+                             "javaemail 1.3.1->1.3.2 OSR update)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if any update's phase breakdown "
+                             "sums past its end-to-end latency or its span "
+                             "tree fails validation")
+    args = parser.parse_args(argv)
+
+    rows = run_pause_sweep()
+    print(render_pause_table(rows))
+    report = pause_report(rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.trace_out:
+        measure_pause("javaemail", "1.3.1", "1.3.2", trace_out=args.trace_out)
+        print(f"wrote {args.trace_out}", file=sys.stderr)
+
+    if args.check and report["problems"]:
+        for update, problems in sorted(report["problems"].items()):
+            for problem in problems:
+                print(f"UNSOUND {update}: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

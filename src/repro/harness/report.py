@@ -13,8 +13,11 @@ import os
 import sys
 from typing import List
 
+import json
+
 from .jettyperf import run_experiment
 from .microbench import run_microbench, sweep
+from .pauses import pause_report, render_pause_table, run_pause_sweep
 from .plots import figure6_chart
 from .tables import (
     render_experience_table,
@@ -67,11 +70,17 @@ def generate_report(scale: str = "small", out_dir: str = "benchmark_results") ->
     outcomes = run_experience_sweep()
     section("Experience — 22 live updates (§4)", render_experience_table(outcomes))
 
+    rows = run_pause_sweep()
+    section("Pause breakdown — per-phase disruption (§4.1)",
+            render_pause_table(rows))
+
     report = "\n".join(sections)
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, "REPORT.txt")
     with open(path, "w") as handle:
         handle.write(report)
+    with open(os.path.join(out_dir, "BENCH_pauses.json"), "w") as handle:
+        json.dump(pause_report(rows), handle, indent=2, sort_keys=True)
     return report
 
 

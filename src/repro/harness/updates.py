@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.compile import compile_source
-from ..dsu.engine import UpdateEngine, UpdateResult
+from ..dsu.engine import UpdateEngine, UpdateRequest, UpdateResult
+from ..dsu.safepoint import RetryPolicy
 from ..dsu.upt import PreparedUpdate, prepare_update
 from ..vm.vm import VM
 
@@ -155,14 +156,20 @@ class AppDriver:
         retries: int = 0,
         backoff: float = 2.0,
         minimize: bool = True,
+        lint: str = "off",
     ) -> Dict[str, UpdateResult]:
         prepared = self.prepare(to_version, minimize=minimize)
+        request = UpdateRequest(
+            prepared,
+            policy=RetryPolicy(
+                timeout_ms=timeout_ms, retries=retries, backoff=backoff
+            ),
+            lint=lint,
+        )
         holder: Dict[str, UpdateResult] = {}
 
         def fire():
-            holder["result"] = self.engine.request_update(
-                prepared, timeout_ms, retries=retries, backoff=backoff
-            )
+            holder["result"] = self.engine.submit(request)
 
         self.vm.events.schedule(time_ms, fire)
         return holder

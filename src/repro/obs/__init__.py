@@ -1,0 +1,27 @@
+"""VM-wide observability: structured tracing and a metrics registry.
+
+The paper's entire evaluation (§6, Tables 2–3) is latency accounting —
+update pause time split into safe-point wait, class installation,
+GC-driven object transformation and recompilation. This package gives the
+simulated VM first-class instruments for exactly that accounting:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans stamped from the
+  simulated clock (``vm.clock``), one per update phase, GC collection,
+  JIT (re)compilation, OSR replacement and event-queue stall;
+* :class:`~repro.obs.metrics.Metrics` — named counters and histograms
+  (safe-point wait, restricted-set sizes, transformer invocations, cells
+  copied);
+* :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (loadable in
+  Perfetto / ``chrome://tracing``) and human-readable span trees.
+
+Every :class:`~repro.vm.vm.VM` owns a tracer and a metrics registry
+(``vm.tracer`` / ``vm.metrics``); subsystems emit into them
+unconditionally — span creation is a couple of Python object allocations
+on a simulated-time VM, far below the noise floor of the work being
+traced.
+"""
+
+from .metrics import Counter, Histogram, Metrics
+from .tracer import Span, Tracer
+
+__all__ = ["Counter", "Histogram", "Metrics", "Span", "Tracer"]

@@ -1,0 +1,142 @@
+"""Trace and metrics exporters.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.tracer.Tracer`'s span
+forest into the Chrome ``trace_event`` JSON object format — open the file
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` to see the
+update pause decomposed on a simulated-time axis. Simulated milliseconds
+map to trace microseconds (Perfetto's native unit), so one screen pixel of
+trace is real simulated work, not wall-clock noise.
+
+:func:`render_span_tree` prints the same forest as an indented text tree
+for terminal use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .metrics import Metrics
+from .tracer import Span, Tracer
+
+#: trace-event pid/tid for the single simulated VM "process"
+_PID = 1
+_TID = 1
+
+
+def _span_events(span: Span, events: List[dict]) -> None:
+    ts = span.start_ms * 1000.0  # simulated ms -> trace us
+    event = {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "i" if span.instant else "X",
+        "ts": ts,
+        "pid": _PID,
+        "tid": _TID,
+    }
+    if span.instant:
+        event["s"] = "t"  # thread-scoped instant
+    else:
+        end_ms = span.end_ms if span.end_ms is not None else span.start_ms
+        event["dur"] = (end_ms - span.start_ms) * 1000.0
+    if span.args:
+        event["args"] = _jsonable(span.args)
+    events.append(event)
+    for child in span.children:
+        _span_events(child, events)
+
+
+def _jsonable(value):
+    """Best-effort conversion of span args to JSON-serializable values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=str)
+        return [_jsonable(v) for v in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    tracer: Tracer,
+    metrics: Optional[Metrics] = None,
+    process_name: str = "repro-vm",
+) -> dict:
+    """The Chrome ``trace_event`` JSON object for a tracer's span forest.
+
+    Events are emitted depth-first in start order; complete ("X") events
+    carry explicit durations, so viewers reconstruct the nesting without
+    needing begin/end pairs. A metrics snapshot, when provided, rides
+    along under ``otherData`` so one artifact holds the whole picture.
+    """
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"name": "simulated-vm"},
+        },
+    ]
+    for root in tracer.roots:
+        _span_events(root, events)
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "unit": "1us = 1 simulated us"},
+    }
+    if metrics is not None:
+        trace["otherData"]["metrics"] = metrics.snapshot()
+    if tracer.anomalies:
+        trace["otherData"]["anomalies"] = list(tracer.anomalies)
+    return trace
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    metrics: Optional[Metrics] = None,
+    process_name: str = "repro-vm",
+) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    trace = chrome_trace(tracer, metrics, process_name)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trace
+
+
+def render_span_tree(tracer: Tracer, min_duration_ms: float = 0.0) -> str:
+    """Indented text rendering of the span forest, durations in simulated
+    ms. Spans shorter than ``min_duration_ms`` are elided (their subtree
+    too) to keep deep traces readable."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if not span.instant and span.duration_ms < min_duration_ms:
+            return
+        indent = "  " * depth
+        if span.instant:
+            stamp = f"@{span.start_ms:.3f}ms"
+        else:
+            stamp = f"{span.duration_ms:.3f}ms @{span.start_ms:.3f}"
+        extras = ""
+        if span.args:
+            pairs = ", ".join(f"{k}={span.args[k]}" for k in sorted(span.args))
+            extras = f"  [{pairs}]"
+        lines.append(f"{indent}{span.name:<28s} {stamp}{extras}")
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""A small metrics registry: named counters and histograms.
+
+Counters count events (collections, compilations, transformer
+invocations); histograms summarize distributions (safe-point wait,
+restricted-set sizes, cells copied per collection). Values come from the
+simulated clock and simulated work counts, so snapshots are deterministic
+and can be asserted exactly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (count / sum /
+    min / max / mean); no reservoir, so memory stays O(1)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    #: most recent observation, handy for "the last update's X" queries
+    last: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.last = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "last": self.last if self.last is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class Metrics:
+    """Get-or-create registry of counters and histograms."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    # Convenience single-call forms.
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict snapshot (stable key order) for JSON export and
+        snapshot tests."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "histograms": {
+                name: self.histograms[name].summary()
+                for name in sorted(self.histograms)
+            },
+        }

@@ -88,6 +88,29 @@ class SemiSpaceCollector:
         stats = GCStats()
         start_cycles = vm.clock.cycles
         update_map = update_map or {}
+        gc_span = vm.tracer.begin(
+            "gc.collect", "gc", update=bool(update_map)
+        )
+        try:
+            return self._collect_inner(
+                stats, update_map, separate_old_copies, oom_at_copy,
+                start_cycles, gc_span,
+            )
+        finally:
+            vm.tracer.end(gc_span)
+
+    def _collect_inner(
+        self,
+        stats: GCStats,
+        update_map: Dict[int, RVMClass],
+        separate_old_copies: bool,
+        oom_at_copy: Optional[int],
+        start_cycles: int,
+        gc_span,
+    ) -> GCStats:
+        vm = self.vm
+        heap = vm.heap
+        objects = vm.objects
 
         from_space = heap.current_space
         scan = bump = heap.begin_flip()
@@ -185,7 +208,8 @@ class SemiSpaceCollector:
             return new_object
 
         # --- roots ------------------------------------------------------
-        self._scan_roots(forward, stats)
+        with vm.tracer.span("gc.roots", "gc"):
+            self._scan_roots(forward, stats)
 
         # --- Cheney scan --------------------------------------------------
         def scan_object(address: int) -> int:
@@ -212,24 +236,37 @@ class SemiSpaceCollector:
         # The segregated old copies are greylist members too (their fields
         # must be forwarded so transformers see live referents); scanning
         # them can discover more work for the main region and vice versa.
-        scanned_old = 0
-        while True:
-            while scan < bump:
-                scan += scan_object(scan)
-            # When not segregated, old copies live inside [start, bump) and
-            # the linear scan above already covered them.
-            if separate_old_copies and scanned_old < len(stats.update_log):
-                while scanned_old < len(stats.update_log):
-                    old_copy, _ = stats.update_log[scanned_old]
-                    scan_object(old_copy)
-                    scanned_old += 1
-                continue
-            break
+        with vm.tracer.span("gc.copy", "gc"):
+            scanned_old = 0
+            while True:
+                while scan < bump:
+                    scan += scan_object(scan)
+                # When not segregated, old copies live inside [start, bump)
+                # and the linear scan above already covered them.
+                if separate_old_copies and scanned_old < len(stats.update_log):
+                    while scanned_old < len(stats.update_log):
+                        old_copy, _ = stats.update_log[scanned_old]
+                        scan_object(old_copy)
+                        scanned_old += 1
+                    continue
+                break
 
         heap.finish_flip(bump, ceiling=old_top)
         self.collections += 1
         stats.gc_time_ms = (vm.clock.cycles - start_cycles) / vm.clock.costs.cycles_per_ms
         vm.last_gc_stats = stats
+        gc_span.args.update(
+            objects_copied=stats.objects_copied,
+            cells_copied=stats.cells_copied,
+            objects_updated=stats.objects_updated,
+            roots_scanned=stats.roots_scanned,
+            gc_ms=round(stats.gc_time_ms, 6),
+        )
+        vm.metrics.inc("gc.collections")
+        vm.metrics.inc("gc.objects_copied", stats.objects_copied)
+        vm.metrics.inc("gc.objects_updated", stats.objects_updated)
+        vm.metrics.observe("gc.cells_copied", stats.cells_copied)
+        vm.metrics.observe("gc.pause_ms", stats.gc_time_ms)
         return stats
 
     # ------------------------------------------------------------------

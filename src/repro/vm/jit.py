@@ -67,52 +67,60 @@ class JITCompiler:
     # tiers
 
     def compile_base(self, entry: MethodEntry) -> CompiledMethod:
-        info = entry.info
-        verified = self._verify(entry.owner.name, info, access_override=self._override(entry))
-        resolved = self._resolve(info.instructions, entry.owner.name, info)
-        code = CompiledMethod(
-            entry,
-            BASE_TIER,
-            resolved,
-            verified.states,
-            info.max_locals,
-            referenced_classes(info.instructions),
-        )
-        entry.base_code = code
-        self.base_compiles += 1
-        self.vm.clock.tick(
-            self.vm.clock.costs.jit_base_per_instr * max(1, len(resolved))
-        )
+        vm = self.vm
+        with vm.tracer.span("jit.base", "jit", method=entry.qualified_name):
+            info = entry.info
+            verified = self._verify(
+                entry.owner.name, info, access_override=self._override(entry)
+            )
+            resolved = self._resolve(info.instructions, entry.owner.name, info)
+            code = CompiledMethod(
+                entry,
+                BASE_TIER,
+                resolved,
+                verified.states,
+                info.max_locals,
+                referenced_classes(info.instructions),
+            )
+            entry.base_code = code
+            self.base_compiles += 1
+            vm.clock.tick(
+                vm.clock.costs.jit_base_per_instr * max(1, len(resolved))
+            )
+        vm.metrics.inc("jit.base_compiles")
         return code
 
     def compile_opt(self, entry: MethodEntry) -> CompiledMethod:
-        info = entry.info
-        inline_result = inline_method(self.vm.classfiles, entry.owner.name, info)
-        opt_info = MethodInfo(
-            info.name,
-            info.descriptor,
-            info.is_static,
-            info.is_native,
-            info.access,
-            inline_result.max_locals,
-            inline_result.instructions,
-        )
-        verified = self._verify(
-            entry.owner.name, opt_info, access_override=self._override(entry)
-        )
-        resolved = self._resolve(opt_info.instructions, entry.owner.name, opt_info)
-        code = CompiledMethod(
-            entry,
-            OPT_TIER,
-            resolved,
-            verified.states,
-            opt_info.max_locals,
-            referenced_classes(opt_info.instructions),
-            inlined=frozenset(inline_result.inlined),
-        )
-        entry.opt_code = code
-        self.opt_compiles += 1
-        self.vm.clock.tick(self.vm.clock.costs.jit_opt_per_instr * max(1, len(resolved)))
+        vm = self.vm
+        with vm.tracer.span("jit.opt", "jit", method=entry.qualified_name):
+            info = entry.info
+            inline_result = inline_method(vm.classfiles, entry.owner.name, info)
+            opt_info = MethodInfo(
+                info.name,
+                info.descriptor,
+                info.is_static,
+                info.is_native,
+                info.access,
+                inline_result.max_locals,
+                inline_result.instructions,
+            )
+            verified = self._verify(
+                entry.owner.name, opt_info, access_override=self._override(entry)
+            )
+            resolved = self._resolve(opt_info.instructions, entry.owner.name, opt_info)
+            code = CompiledMethod(
+                entry,
+                OPT_TIER,
+                resolved,
+                verified.states,
+                opt_info.max_locals,
+                referenced_classes(opt_info.instructions),
+                inlined=frozenset(inline_result.inlined),
+            )
+            entry.opt_code = code
+            self.opt_compiles += 1
+            vm.clock.tick(vm.clock.costs.jit_opt_per_instr * max(1, len(resolved)))
+        vm.metrics.inc("jit.opt_compiles")
         return code
 
     # ------------------------------------------------------------------

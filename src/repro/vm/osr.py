@@ -51,14 +51,19 @@ def osr_replace(vm: "VM", frame: Frame) -> None:
             f"(tier={frame.code.tier})"
         )
     entry = frame.code.entry
-    new_code = vm.jit.compile_base(entry)
-    if len(new_code.instructions) != len(frame.code.instructions):
-        raise OSRError(
-            f"baseline recompilation of {entry.qualified_name} changed length"
-        )
-    # Identity state mapping: pc, locals and operand stack carry over.
-    frame.code = new_code
-    frame.entered_at_version = entry.bytecode_version
+    with vm.tracer.span(
+        "osr.replace", "osr", method=entry.qualified_name, pc=frame.pc
+    ):
+        new_code = vm.jit.compile_base(entry)
+        if len(new_code.instructions) != len(frame.code.instructions):
+            raise OSRError(
+                f"baseline recompilation of {entry.qualified_name} "
+                f"changed length"
+            )
+        # Identity state mapping: pc, locals and operand stack carry over.
+        frame.code = new_code
+        frame.entered_at_version = entry.bytecode_version
+    vm.metrics.inc("osr.frames_replaced")
 
 
 def osr_replace_all(vm: "VM", frames: Iterable[Frame]) -> int:
@@ -80,6 +85,19 @@ def osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
     (same depth, same reference pattern), otherwise the replacement is
     refused.
     """
+    entry = frame.code.entry
+    span = vm.tracer.begin(
+        "osr.replace-mapped", "osr", method=entry.qualified_name,
+        pc=frame.pc,
+    )
+    try:
+        _osr_replace_mapped(vm, frame, pc_map, locals_map)
+    finally:
+        vm.tracer.end(span)
+    vm.metrics.inc("osr.frames_replaced")
+
+
+def _osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
     entry = frame.code.entry
     new_code = vm.jit.compile_base(entry)
     old_pc = frame.pc

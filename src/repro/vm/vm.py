@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..bytecode.classfile import ClassFile
 from ..compiler.compile import compile_prelude
+from ..obs import Metrics, Tracer
 from .classloader import ClassLoader
 from .clock import Clock, CostModel
 from .events import EventQueue
@@ -48,6 +49,10 @@ class VM:
         costs: Optional[CostModel] = None,
     ):
         self.clock = Clock(costs)
+        #: structured tracing + metrics (:mod:`repro.obs`); every subsystem
+        #: emits spans/counters here, stamped from the simulated clock
+        self.tracer = Tracer(self.clock)
+        self.metrics = Metrics()
         self.heap = Heap(heap_cells)
         self.strings = StringTable()
         self.registry = ClassRegistry()
@@ -278,9 +283,9 @@ class VM:
                 if next_time is None:
                     return  # fully idle: nothing will ever run again
                 if until_ms is not None and next_time > until_ms:
-                    self.clock.advance_to_ms(until_ms)
+                    self._advance_idle(until_ms)
                     return
-                self.clock.advance_to_ms(next_time)
+                self._advance_idle(next_time)
                 continue
             self.interpreter.run_thread(thread, self.quantum)
             self._reap_dead_threads()
@@ -289,6 +294,20 @@ class VM:
             # processors have reached VM safe points, Jvolve checks ...").
             if self.update_pending and self.on_world_stopped is not None:
                 self.on_world_stopped()
+
+    def _advance_idle(self, target_ms: float) -> None:
+        """Fast-forward to ``target_ms`` with the stall attributed in the
+        trace: every thread is blocked and the event queue has nothing due,
+        so this is dead time the scheduler (or a pending update waiting on
+        its safe point) simply sits through."""
+        if target_ms <= self.clock.now_ms:
+            self.clock.advance_to_ms(target_ms)
+            return
+        before_ms = self.clock.now_ms
+        with self.tracer.span("sched.idle", "sched"):
+            self.clock.advance_to_ms(target_ms)
+        self.metrics.inc("sched.idle_stalls")
+        self.metrics.observe("sched.idle_ms", self.clock.now_ms - before_ms)
 
     def _reap_dead_threads(self) -> None:
         if any(t.state == VMThread.DEAD for t in self.threads):

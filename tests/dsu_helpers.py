@@ -1,7 +1,8 @@
 """Helpers for dynamic-software-update tests and benchmarks."""
 
 from repro.compiler.compile import compile_source
-from repro.dsu.engine import UpdateEngine
+from repro.dsu.engine import UpdateEngine, UpdateRequest
+from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import prepare_update
 from repro.vm.vm import VM
 
@@ -42,8 +43,12 @@ class UpdateFixture:
         prepared = self.prepare(v2_source, v2, **kwargs)
         holder = {}
 
+        request_obj = UpdateRequest(
+            prepared, policy=RetryPolicy(timeout_ms=timeout_ms)
+        )
+
         def request():
-            holder["result"] = self.engine.request_update(prepared, timeout_ms)
+            holder["result"] = self.engine.submit(request_obj)
 
         self.vm.events.schedule(time_ms, request)
         self._pending = holder

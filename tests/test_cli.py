@@ -77,6 +77,22 @@ class TestUpdate:
         assert "v1" in lines and "v2" in lines
         assert "[update] applied" in captured.err
 
+    def test_update_trace_out_writes_chrome_trace(self, program_files,
+                                                  tmp_path, capsys):
+        import json
+
+        old, new = program_files
+        trace_path = tmp_path / "update.trace.json"
+        code = main(["update", old, new, "--at", "45", "--until-ms", "2000",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "[trace] wrote" in capsys.readouterr().err
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "dsu.update" in names
+        assert "gc.collect" in names
+        assert trace["otherData"]["metrics"]["counters"]["dsu.updates_applied"] == 1
+
     def test_update_with_transformer_overrides_file(self, tmp_path, capsys):
         v1 = tmp_path / "a.jm"
         v2 = tmp_path / "b.jm"
@@ -280,3 +296,29 @@ class TestDsuLintMinimization:
         old, new = program_files
         assert main(["dsu-lint", old, new, "--superset-gate"]) == 2
         assert "--superset-gate needs" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_bundled_update_writes_artifact(self, tmp_path, capsys,
+                                                  monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        code = main(["trace", "--app", "crossftp", "--update", "1.07-1.08",
+                     "--spans", "--min-span-ms", "0.05"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Per-update pause breakdown" in captured.out
+        assert "dsu.update" in captured.out  # --spans tree
+        trace_path = tmp_path / "crossftp-1.07-1.08.trace.json"
+        assert trace_path.exists()
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"dsu.update", "dsu.safepoint.scan", "dsu.classload",
+                "gc.collect"} <= names
+
+    def test_trace_rejects_unknown_app_and_pair(self, capsys):
+        assert main(["trace", "--app", "nope", "--update", "1-2"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+        assert main(["trace", "--app", "jetty", "--update", "9.9-9.8"]) == 2
+        assert "unknown update" in capsys.readouterr().err
