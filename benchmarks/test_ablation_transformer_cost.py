@@ -104,7 +104,7 @@ def test_eager_old_copy_reclaim_headroom(benchmark):
     reclaim them immediately." Measure the post-update heap headroom both
     ways."""
     from repro.compiler.compile import compile_source
-    from repro.dsu.engine import UpdateEngine
+    from repro.dsu.engine import UpdateEngine, UpdateRequest
     from repro.dsu.upt import prepare_update
     from repro.harness.microbench import (
         MICRO_V1,
@@ -127,7 +127,7 @@ def test_eager_old_copy_reclaim_headroom(benchmark):
             old, compile_source(MICRO_V2, version="m2"), "m1", "m2"
         )
         engine = UpdateEngine(vm, eager_old_copy_reclaim=eager)
-        result = engine.request_update(prepared)
+        result = engine.submit(UpdateRequest(prepared))
         vm.run(max_instructions=100_000_000)
         assert result.succeeded
         return vm.heap.free_cells

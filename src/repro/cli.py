@@ -109,7 +109,8 @@ def cmd_update(args) -> int:
     vm = VM(heap_cells=args.heap_cells)
     vm.boot(old)
     vm.start_main(args.main)
-    engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier)
+    engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier,
+                          heap_grow=args.dsu_heap_grow)
     overrides = None
     if args.transformers:
         overrides = _parse_transformer_overrides(_read(args.transformers))
@@ -447,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="file of per-class transformer overrides "
                              "separated by '=== ClassName' lines")
     update.add_argument("--auto-read-barrier", action="store_true")
+    update.add_argument("--dsu-heap-grow", action="store_true",
+                        help="let the update collection grow the heap in "
+                             "place when the to-space sizing pre-flight "
+                             "predicts the double copy of updated objects "
+                             "will not fit (default: abort with reason "
+                             "'heap-preflight')")
     update.add_argument("--dsu-lint", choices=("off", "warn", "strict"),
                         default="off",
                         help="run the static update-safety analyzer before "

@@ -27,7 +27,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 from ..bytecode.classfile import CLINIT_NAME, ClassFile
 from ..obs import Tracer
 from ..vm.classloader import ClassLoadError
-from ..vm.heap import OutOfMemoryError
+from ..vm.gc import GCStats
+from ..vm.heap import HEAP_BASE, HeapPreflightError, OutOfMemoryError
 from ..vm.machinecode import MethodEntry
 from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
 from ..vm.rvmclass import RVMClass
@@ -51,6 +52,7 @@ from .specification import (
     PHASE_TRANSFORM,
     REASON_BLACKLISTED,
     REASON_CLASSLOAD_FAILED,
+    REASON_HEAP_PREFLIGHT,
     REASON_INTERNAL_ERROR,
     REASON_LINT_REJECTED,
     REASON_OOM,
@@ -85,6 +87,17 @@ def _classify_failure(
         return PHASE_TRANSFORM, REASON_TRANSFORMER_CYCLE, str(failure)
     if isinstance(failure, OSRError):
         return PHASE_OSR, REASON_OSR_FAILED, f"OSR failed: {failure}"
+    if isinstance(failure, HeapPreflightError):
+        return (
+            PHASE_GC,
+            REASON_HEAP_PREFLIGHT,
+            f"update collection refused at pre-flight: the double copy of "
+            f"updated objects needs an estimated {failure.needed_cells} "
+            f"to-space cells but only {failure.available_cells} are "
+            f"available; re-run with a heap of at least "
+            f"{failure.suggested_heap_cells} cells (--heap-cells) or allow "
+            f"in-place growth (--dsu-heap-grow)",
+        )
     if isinstance(failure, (MemoryError, OutOfMemoryError)):
         if current_phase == PHASE_GC:
             message = (
@@ -247,6 +260,7 @@ class UpdateEngine:
         auto_read_barrier: bool = False,
         eager_old_copy_reclaim: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        heap_grow: bool = False,
     ):
         self.vm = vm
         self.auto_read_barrier = auto_read_barrier
@@ -254,6 +268,10 @@ class UpdateEngine:
         #: reclaim them the moment the transformers finish, instead of
         #: waiting for the next collection
         self.eager_old_copy_reclaim = eager_old_copy_reclaim
+        #: when the update collection's to-space sizing pre-flight predicts
+        #: an overflow, grow the heap in place (``--dsu-heap-grow``) instead
+        #: of aborting with a ``heap-preflight`` reason
+        self.heap_grow = heap_grow
         #: optional :class:`repro.dsu.faults.FaultInjector` exercising the
         #: abort paths; None in production
         self.fault_injector = fault_injector
@@ -618,20 +636,25 @@ class UpdateEngine:
                 )
                 end_phase("osr")
 
-            # Phase: whole-heap collection with the update map. The double
-            # copy of updated objects "adds temporary memory pressure"
-            # (§3.5); if to-space cannot hold it, the abort un-flips back
-            # to from-space, where the old-layout originals are intact.
-            # (vm.collect emits its own nested gc.collect span.)
+            # Phase: the whole-heap collection with the update map — but
+            # only when the map is non-empty. The collection's sole job at
+            # update time is transforming objects of changed classes
+            # (§3.4); method-body-only and indirect-method updates change
+            # no layout, so they skip the flip and the copy entirely and
+            # report a zero GC pause. When a layout change *does* collect,
+            # a to-space sizing pre-flight aborts (or grows the heap)
+            # before any copying, instead of un-flipping after a mid-copy
+            # overflow — §3.5 warns the double copy of updated objects
+            # "adds temporary memory pressure".
             current_phase = PHASE_GC
-            txn.note_gc_started()
-            stats = vm.collect(
-                update_map=active.update_map,
-                separate_old_copies=self.eager_old_copy_reclaim,
-                oom_at_copy=(
-                    injector.gc_oom_threshold() if injector is not None else None
-                ),
-            )
+            gc_skipped = not active.update_map
+            if gc_skipped:
+                stats = GCStats()
+                tracer.instant("dsu.gc.skipped", "dsu",
+                               reason="empty-transform-map")
+                vm.metrics.inc("dsu.gc_skipped")
+            else:
+                stats = self._preflight_and_collect(active, txn, injector)
             end_phase("gc")
 
             # Phase: class transformers, then object transformers (§3.4).
@@ -694,6 +717,7 @@ class UpdateEngine:
                 active.update_span, status=APPLIED,
                 pause_ms=round(result.total_pause_ms, 6),
                 objects_transformed=result.objects_transformed,
+                gc_skipped=gc_skipped,
             )
         vm.metrics.inc("dsu.updates_applied")
         vm.metrics.observe("dsu.pause_ms", result.total_pause_ms)
@@ -716,6 +740,89 @@ class UpdateEngine:
             active.result.injected_faults = list(self.fault_injector.fired)
         self._abort(message, phase=phase, reason_code=reason_code,
                     rolled_back=True)
+
+    # ------------------------------------------------------------------
+    # the update collection: sizing pre-flight, optional growth, collect
+
+    def _preflight_and_collect(
+        self,
+        active: _ActiveUpdate,
+        txn: UpdateTransaction,
+        injector: Optional[FaultInjector],
+    ) -> GCStats:
+        """Run the update collection behind a to-space sizing estimate.
+
+        If the estimate does not fit, either grow the heap in place
+        (``heap_grow``) or raise :class:`HeapPreflightError` *before* any
+        object is copied — from-space stays untouched, so the abort path
+        has no mid-copy forwarding state to un-flip."""
+        vm = self.vm
+        heap = vm.heap
+        preflight = vm.collector.preflight_estimate(active.update_map)
+        vm.tracer.instant(
+            "dsu.gc.preflight", "dsu",
+            needed_cells=preflight.needed_cells,
+            available_cells=preflight.available_cells,
+            live_cells_upper=preflight.live_cells_upper,
+            update_extra_cells=preflight.update_extra_cells,
+            updated_instances_upper=preflight.updated_instances_upper,
+            fits=preflight.fits,
+        )
+        if not preflight.fits:
+            if not self.heap_grow:
+                raise HeapPreflightError(
+                    preflight.needed_cells,
+                    preflight.available_cells,
+                    preflight.suggested_heap_cells,
+                )
+            self._grow_heap_for_update(active, txn, preflight)
+        txn.note_gc_started()
+        return vm.collect(
+            update_map=active.update_map,
+            separate_old_copies=self.eager_old_copy_reclaim,
+            oom_at_copy=(
+                injector.gc_oom_threshold() if injector is not None else None
+            ),
+        )
+
+    def _grow_heap_for_update(self, active, txn: UpdateTransaction,
+                              preflight) -> None:
+        """Grow the heap so the estimate fits, preserving rollback-ability.
+
+        ``Heap.grow`` only works with live data in the low semispace. When
+        the high space is current, a plain collection evacuates first (it
+        always fits — equal semispaces); the new halfway point is then
+        pinned past the *old* heap end so the update collection cannot
+        scribble over the pre-update from-space image the transaction
+        snapshot still points into."""
+        vm = self.vm
+        heap = vm.heap
+        old_size = heap.size
+        min_half = 0
+        grow_span = vm.tracer.begin("dsu.gc.grow", "dsu", from_cells=old_size)
+        try:
+            if heap.current_space != 0:
+                # The evacuation writes forwarding words into the snapshot's
+                # from-space; mark the transaction so rollback scrubs them.
+                txn.note_gc_started()
+                vm.collect()
+                # The evacuation established exact per-class live counts;
+                # re-estimate for a tighter growth target. Keep the new
+                # halfway point past the old heap end regardless: rollback
+                # needs the pre-update image in the old high space intact.
+                preflight = vm.collector.preflight_estimate(active.update_map)
+                min_half = old_size
+            new_half = max(
+                preflight.needed_cells + HEAP_BASE,
+                min_half,
+                heap.size // 2 + 1,
+            )
+            heap.grow(2 * new_half)
+        finally:
+            vm.tracer.end(grow_span, to_cells=heap.size,
+                          needed_cells=preflight.needed_cells)
+        vm.metrics.inc("dsu.heap_grown")
+        vm.metrics.observe("dsu.heap_grow_cells", heap.size - old_size)
 
     # ------------------------------------------------------------------
     # class installation (paper §3.3)

@@ -48,6 +48,8 @@ REASON_BLACKLISTED = "blacklisted"              # category-3 method never left
 REASON_OSR_FAILED = "osr-failed"                # un-replaceable active frame
 REASON_CLASSLOAD_FAILED = "classload-failed"    # metadata install blew up
 REASON_OOM = "oom"                              # heap exhausted mid-update
+REASON_HEAP_PREFLIGHT = "heap-preflight"        # sizing estimate refused the
+                                                # update GC before any copy
 REASON_TRANSFORMER_CYCLE = "transformer-cycle"  # ill-defined transformers
 REASON_TRANSFORMER_ERROR = "transformer-error"  # transformer raised/trapped
 REASON_INJECTED_FAULT = "injected-fault"        # repro.dsu.faults harness
@@ -60,6 +62,7 @@ ABORT_REASONS = (
     REASON_OSR_FAILED,
     REASON_CLASSLOAD_FAILED,
     REASON_OOM,
+    REASON_HEAP_PREFLIGHT,
     REASON_TRANSFORMER_CYCLE,
     REASON_TRANSFORMER_ERROR,
     REASON_INJECTED_FAULT,

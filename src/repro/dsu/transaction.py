@@ -164,11 +164,19 @@ class UpdateTransaction:
             for frame in thread.frames
         ]
 
-        # --- heap pointers -------------------------------------------
+        # --- heap pointers & geometry --------------------------------
         heap = vm.heap
         self.heap_space = heap.current_space
         self.heap_bump = heap.bump
         self.heap_ceiling = heap.ceiling
+        # The update GC's pre-flight may grow the heap in place
+        # (``--dsu-heap-grow``); rollback must restore the pre-update
+        # geometry or a retry would see different semispace bounds.
+        self.heap_size = heap.size
+        self.heap_space_bounds = heap._space_bounds
+        self.heap_cells_len = len(heap.cells)
+        self.class_alloc_counts = dict(heap.class_alloc_counts)
+        self.class_live_counts = dict(heap.class_live_counts)
 
     # ------------------------------------------------------------------
 
@@ -209,10 +217,20 @@ class UpdateTransaction:
         for record in self.frame_records:
             record.restore()
 
-        # Heap: un-flip to the pre-update space, then scrub the forwarding
+        # Heap: shrink any in-place growth back to the snapshot geometry.
+        # Growth only appends cells, and the grow path pins the relocated
+        # high space above everything the snapshot still points into, so
+        # whatever the update GC copied there is discardable scribble.
+        # Then un-flip to the pre-update space and scrub the forwarding
         # pointers the (possibly partial) update collection left in the
         # status headers of from-space objects.
         heap = vm.heap
+        if len(heap.cells) > self.heap_cells_len:
+            del heap.cells[self.heap_cells_len:]
+        heap.size = self.heap_size
+        heap._space_bounds = self.heap_space_bounds
+        heap.class_alloc_counts = dict(self.class_alloc_counts)
+        heap.class_live_counts = dict(self.class_live_counts)
         heap.current_space = self.heap_space
         heap.bump = self.heap_bump
         heap.ceiling = self.heap_ceiling

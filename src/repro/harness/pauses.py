@@ -54,6 +54,9 @@ class PauseRow:
     rounds: int = 1
     osr_frames: int = 0
     objects_transformed: int = 0
+    #: True when the prepared update's GC transform map is empty (no class
+    #: layout changed) — the engine must then skip the update collection
+    transform_map_empty: bool = False
     #: problems reported by Tracer.validate() for this run (must be empty)
     trace_problems: List[str] = field(default_factory=list)
 
@@ -68,6 +71,12 @@ class PauseRow:
             problems.append(
                 f"phase breakdown sums to {self.phase_sum_ms:.6f} ms > "
                 f"end-to-end {self.end_to_end_ms:.6f} ms"
+            )
+        if self.transform_map_empty and self.phases.get("gc", 0.0) > 0.0:
+            problems.append(
+                "no class layout changed, yet the update reports a "
+                f"{self.phases['gc']:.6f} ms GC pause — the needless "
+                "full-heap update collection is back"
             )
         return problems
 
@@ -113,6 +122,7 @@ def measure_pause_with_vm(
     driver.run(until_ms=until_ms)
     result = holder["result"]
     vm = driver.vm
+    spec = holder["prepared"].spec
     row = PauseRow(
         app=app,
         from_version=from_version,
@@ -128,6 +138,7 @@ def measure_pause_with_vm(
         rounds=result.retry_rounds + 1,
         osr_frames=result.osr_frames + result.extended_osr_frames,
         objects_transformed=result.objects_transformed,
+        transform_map_empty=not spec.class_updates,
         trace_problems=vm.tracer.validate(),
     )
     if trace_out:
@@ -205,8 +216,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "javaemail 1.3.1->1.3.2 OSR update)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if any update's phase breakdown "
-                             "sums past its end-to-end latency or its span "
-                             "tree fails validation")
+                             "sums past its end-to-end latency, its span "
+                             "tree fails validation, or an update with an "
+                             "empty transform map reports a nonzero GC "
+                             "pause (the collection must be skipped)")
     args = parser.parse_args(argv)
 
     rows = run_pause_sweep()

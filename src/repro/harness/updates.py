@@ -167,6 +167,7 @@ class AppDriver:
             lint=lint,
         )
         holder: Dict[str, UpdateResult] = {}
+        holder["prepared"] = prepared  # type: ignore[assignment]
 
         def fire():
             holder["result"] = self.engine.submit(request)

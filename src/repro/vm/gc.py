@@ -47,6 +47,41 @@ class GCStats:
     gc_time_ms: float = 0.0
     #: roots scanned, for diagnostics
     roots_scanned: int = 0
+    #: surviving instances per (post-collection) class id — becomes the
+    #: heap's live baseline for the next update's sizing pre-flight
+    survivors_by_class: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class UpdatePreflight:
+    """To-space sizing estimate for an update collection (§3.5: the double
+    copy of updated objects "adds temporary memory pressure").
+
+    ``needed_cells`` is a sound upper bound: every cell currently bump-
+    allocated in from-space (live data can only be a subset) plus, for
+    each updated class, an upper bound on its live instances times the
+    new layout's size (the extra allocation the double copy performs),
+    plus one new-layout object of slack for the segregated-region gap."""
+
+    needed_cells: int = 0
+    available_cells: int = 0
+    #: from-space cells that bound the plain copy
+    live_cells_upper: int = 0
+    #: extra cells the double copy of updated-class instances may need
+    update_extra_cells: int = 0
+    #: upper bound on updated-class instances that will be double-copied
+    updated_instances_upper: int = 0
+
+    @property
+    def fits(self) -> bool:
+        return self.needed_cells <= self.available_cells
+
+    @property
+    def suggested_heap_cells(self) -> int:
+        """Smallest total heap size whose semispaces hold the estimate."""
+        from .heap import HEAP_BASE
+
+        return 2 * (self.needed_cells + HEAP_BASE)
 
 
 class StackMapMismatch(Exception):
@@ -189,6 +224,9 @@ class SemiSpaceCollector:
                 heap.cells[destination + HEADER_STATUS] = 0
                 heap.cells[address + HEADER_STATUS] = destination
                 stats.objects_copied += 1
+                stats.survivors_by_class[rvmclass.id] = (
+                    stats.survivors_by_class.get(rvmclass.id, 0) + 1
+                )
                 vm.clock.tick(vm.clock.costs.gc_scan_object)
                 return destination
             # --- updated class: double copy + update log -------------
@@ -201,6 +239,9 @@ class SemiSpaceCollector:
             heap.cells[address + HEADER_STATUS] = new_object
             stats.objects_copied += 1
             stats.objects_updated += 1
+            stats.survivors_by_class[new_class.id] = (
+                stats.survivors_by_class.get(new_class.id, 0) + 1
+            )
             stats.update_log.append((old_copy, new_object))
             vm.clock.tick(
                 vm.clock.costs.gc_scan_object + vm.clock.costs.gc_update_log_entry
@@ -252,6 +293,7 @@ class SemiSpaceCollector:
                 break
 
         heap.finish_flip(bump, ceiling=old_top)
+        heap.record_survivors(stats.survivors_by_class)
         self.collections += 1
         stats.gc_time_ms = (vm.clock.cycles - start_cycles) / vm.clock.costs.cycles_per_ms
         vm.last_gc_stats = stats
@@ -268,6 +310,38 @@ class SemiSpaceCollector:
         vm.metrics.observe("gc.cells_copied", stats.cells_copied)
         vm.metrics.observe("gc.pause_ms", stats.gc_time_ms)
         return stats
+
+    # ------------------------------------------------------------------
+    # update-collection sizing pre-flight
+
+    def preflight_estimate(
+        self, update_map: Dict[int, RVMClass]
+    ) -> UpdatePreflight:
+        """Estimate whether to-space can hold an update collection *before*
+        copying anything, so an undersized heap aborts (or grows) at
+        pre-flight instead of un-flipping after a mid-copy overflow.
+
+        Sound over-approximation: the plain copy moves at most every
+        bump-allocated from-space cell; the double copy additionally
+        allocates one empty new-layout object per live updated-class
+        instance, bounded by the heap's per-class allocation counters."""
+        heap = self.vm.heap
+        estimate = UpdatePreflight(
+            live_cells_upper=heap.used_cells,
+            available_cells=heap.semispace_capacity,
+        )
+        largest_new = 0
+        for old_id, new_class in update_map.items():
+            count = heap.live_instances_upper_bound(old_id)
+            estimate.updated_instances_upper += count
+            estimate.update_extra_cells += count * new_class.instance_cells
+            largest_new = max(largest_new, new_class.instance_cells)
+        # One extra new-layout object of slack: the segregated old-copy
+        # region keeps a one-object gap between the two bump pointers.
+        estimate.needed_cells = (
+            estimate.live_cells_upper + estimate.update_extra_cells + largest_new
+        )
+        return estimate
 
     # ------------------------------------------------------------------
     # root enumeration

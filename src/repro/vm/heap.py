@@ -21,7 +21,7 @@ to the old version in the new version during the collection").
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 NULL = 0
 HEAP_BASE = 16
@@ -34,6 +34,25 @@ HEADER_STATUS = 1
 
 class OutOfMemoryError(Exception):
     """The heap cannot satisfy an allocation even after collection."""
+
+
+class HeapPreflightError(OutOfMemoryError):
+    """The update-collection sizing pre-flight predicts a to-space overflow.
+
+    Raised *before* any object is copied (paper §3.5 warns the double copy
+    of updated objects "adds temporary memory pressure"), so the abort
+    needs no un-flip: from-space was never touched. Carries the numbers
+    the abort reason reports to the operator."""
+
+    def __init__(self, needed_cells: int, available_cells: int,
+                 suggested_heap_cells: int):
+        super().__init__(
+            f"pre-flight estimate: {needed_cells} to-space cells needed, "
+            f"{available_cells} available"
+        )
+        self.needed_cells = needed_cells
+        self.available_cells = available_cells
+        self.suggested_heap_cells = suggested_heap_cells
 
 
 class Heap:
@@ -58,6 +77,13 @@ class Heap:
         #: statistics
         self.allocations = 0
         self.cells_allocated = 0
+        #: per-class allocation accounting, feeding the update collection's
+        #: to-space sizing pre-flight: ``class_live_counts`` holds the
+        #: survivor count per class id as of the last collection,
+        #: ``class_alloc_counts`` the allocations per class id since then.
+        #: Their sum is an upper bound on the live instances of a class.
+        self.class_alloc_counts: Dict[int, int] = {}
+        self.class_live_counts: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # allocation
@@ -96,6 +122,31 @@ class Heap:
         return address
 
     # ------------------------------------------------------------------
+    # per-class accounting (update-collection sizing pre-flight)
+
+    def note_class_allocation(self, class_id: int) -> None:
+        """Record one allocation of an instance of ``class_id``; called by
+        :class:`repro.vm.objectmodel.ObjectModel` on every allocation."""
+        self.class_alloc_counts[class_id] = (
+            self.class_alloc_counts.get(class_id, 0) + 1
+        )
+
+    def record_survivors(self, survivors_by_class: Dict[int, int]) -> None:
+        """A collection finished: the survivor counts become the new live
+        baseline and the since-last-GC allocation counters reset."""
+        self.class_live_counts = dict(survivors_by_class)
+        self.class_alloc_counts.clear()
+
+    def live_instances_upper_bound(self, class_id: int) -> int:
+        """An upper bound on the live instances of ``class_id``: everything
+        that survived the last collection plus everything allocated since
+        (some of which may already be garbage — this never undercounts)."""
+        return (
+            self.class_live_counts.get(class_id, 0)
+            + self.class_alloc_counts.get(class_id, 0)
+        )
+
+    # ------------------------------------------------------------------
     # collection support
 
     def other_space(self) -> int:
@@ -118,6 +169,42 @@ class Heap:
     def reset_ceiling(self) -> None:
         """Reclaim the segregated old-copy region in O(1)."""
         self.ceiling = self.space_end
+
+    @property
+    def semispace_capacity(self) -> int:
+        """Usable cells per semispace (both spaces are equal by invariant)."""
+        start, end = self._space_bounds[0]
+        return end - start
+
+    def grow(self, new_size_cells: int) -> None:
+        """Grow the heap to ``new_size_cells`` total cells in place,
+        preserving the equal-semispace invariant and every live address.
+
+        Only legal while the *low* semispace (space 0) is current: live
+        data then sits below the new halfway point and never moves, while
+        the empty high space is simply relocated upward into the appended
+        cells. Callers holding live data in the high space must run a
+        normal collection first (it always fits — equal semispaces) and
+        then grow; that is what the DSU engine's pre-flight does.
+        """
+        if self.current_space != 0:
+            raise ValueError(
+                "Heap.grow() requires the low semispace to be current; "
+                "run a collection first"
+            )
+        if new_size_cells % 2:
+            new_size_cells += 1
+        if new_size_cells <= self.size:
+            raise ValueError(
+                f"cannot grow heap from {self.size} to {new_size_cells} cells"
+            )
+        ceiling_was_full = self.ceiling == self.space_end
+        self.cells.extend([0] * (new_size_cells - self.size))
+        half = new_size_cells // 2
+        self.size = new_size_cells
+        self._space_bounds = ((HEAP_BASE, half), (half + HEAP_BASE, new_size_cells))
+        if ceiling_was_full:
+            self.ceiling = self.space_end
 
     def in_space(self, address: int, space: int) -> bool:
         start, end = self._space_bounds[space]

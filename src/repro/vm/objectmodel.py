@@ -68,6 +68,7 @@ class ObjectModel:
     def alloc_object(self, rvmclass: RVMClass) -> int:
         address = self.heap.allocate_raw(rvmclass.instance_cells)
         self.heap.write(address + HEADER_TIB, rvmclass.id)
+        self.heap.note_class_allocation(rvmclass.id)
         return address
 
     def alloc_array(self, array_class: RVMClass, length: int) -> int:
@@ -76,12 +77,15 @@ class ObjectModel:
         address = self.heap.allocate_raw(ARRAY_ELEMS_OFFSET + length)
         self.heap.write(address + HEADER_TIB, array_class.id)
         self.heap.write(address + ARRAY_LENGTH_OFFSET, length)
+        self.heap.note_class_allocation(array_class.id)
         return address
 
     def alloc_string(self, payload_index: int) -> int:
+        string_class = self.string_class()
         address = self.heap.allocate_raw(HEADER_CELLS + 1)
-        self.heap.write(address + HEADER_TIB, self.string_class().id)
+        self.heap.write(address + HEADER_TIB, string_class.id)
         self.heap.write(address + STRING_PAYLOAD_OFFSET, payload_index)
+        self.heap.note_class_allocation(string_class.id)
         return address
 
     def object_size_cells(self, address: int) -> int:

@@ -24,6 +24,8 @@ from repro.analysis.report import (
 )
 from repro.bytecode.instructions import Instr
 from repro.compiler.compile import compile_source
+from repro.dsu.engine import UpdateRequest
+from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import TRANSFORMERS_CLASS, prepare_update
 
 
@@ -406,7 +408,9 @@ class TestEnginePreflight:
     def test_strict_mode_refuses_a_doomed_update(self):
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
-        result = fixture.engine.request_update(prepared, 500.0, lint="strict")
+        result = fixture.engine.submit(UpdateRequest(
+            prepared, policy=RetryPolicy(timeout_ms=500.0), lint="strict"
+        ))
         assert result.status == "aborted"
         assert result.failed_phase == "preflight"
         assert result.reason_code == "lint-rejected"
@@ -421,7 +425,9 @@ class TestEnginePreflight:
     def test_warn_mode_records_findings_but_proceeds(self):
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
-        result = fixture.engine.request_update(prepared, 200.0, lint="warn")
+        result = fixture.engine.submit(UpdateRequest(
+            prepared, policy=RetryPolicy(timeout_ms=200.0), lint="warn"
+        ))
         assert result.lint_errors >= 1
         assert result.lint_predicted_abort == "safepoint/timeout"
         assert result.status != "aborted"
@@ -446,7 +452,9 @@ class Main {
 
         fixture = UpdateFixture(clean_v1).start()
         prepared = fixture.prepare(clean_v1.replace('"v1"', '"v2"'))
-        result = fixture.engine.request_update(prepared, 500.0, lint="strict")
+        result = fixture.engine.submit(UpdateRequest(
+            prepared, policy=RetryPolicy(timeout_ms=500.0), lint="strict"
+        ))
         assert result.status != "aborted"
         assert result.lint_errors == 0
         assert fixture.vm.update_pending
@@ -455,7 +463,7 @@ class Main {
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
         with pytest.raises(ValueError):
-            fixture.engine.request_update(prepared, 500.0, lint="eventually")
+            UpdateRequest(prepared, lint="eventually")
 
 
 # ---------------------------------------------------------------------------

@@ -90,7 +90,10 @@ class TestUpdate:
         trace = json.loads(trace_path.read_text())
         names = {e["name"] for e in trace["traceEvents"]}
         assert "dsu.update" in names
-        assert "gc.collect" in names
+        # A body-only update has an empty transform map, so the engine
+        # skips the update collection and marks the trace instead.
+        assert "gc.collect" not in names
+        assert "dsu.gc.skipped" in names
         assert trace["otherData"]["metrics"]["counters"]["dsu.updates_applied"] == 1
 
     def test_update_with_transformer_overrides_file(self, tmp_path, capsys):

@@ -4,6 +4,7 @@ post-update heap health."""
 
 import pytest
 
+from repro.dsu.engine import UpdateRequest
 from tests.dsu_helpers import UpdateFixture
 
 # ---------------------------------------------------------------------------
@@ -373,9 +374,9 @@ class TestEngineGuards:
     def test_concurrent_update_requests_rejected(self):
         fixture = UpdateFixture(CHAIN_V1).start()
         prepared = fixture.prepare(CHAIN_V2, v2="2.0")
-        fixture.engine.request_update(prepared)
+        fixture.engine.submit(UpdateRequest(prepared))
         with pytest.raises(RuntimeError, match="already in progress"):
-            fixture.engine.request_update(prepared)
+            fixture.engine.submit(UpdateRequest(prepared))
 
     def test_stale_timeout_does_not_kill_next_update(self):
         # First update applies quickly; its timeout event fires later and

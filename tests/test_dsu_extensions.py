@@ -9,7 +9,8 @@
 
 import pytest
 
-from repro.dsu.engine import UpdateEngine
+from repro.dsu.engine import UpdateEngine, UpdateRequest
+from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import derive_identity_mapping, prepare_update
 from repro.compiler.compile import compile_source
 from repro.vm.vm import VM
@@ -69,7 +70,9 @@ class TestExtendedOSR:
         fixture.vm.events.schedule(
             22,
             lambda: holder.update(
-                result=fixture.engine.request_update(prepared, timeout_ms=1_000)
+                result=fixture.engine.submit(UpdateRequest(
+                    prepared, policy=RetryPolicy(timeout_ms=1_000)
+                ))
             ),
         )
         fixture.run(until_ms=3_000)

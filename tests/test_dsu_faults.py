@@ -8,8 +8,9 @@ the old-version workload keeps running to completion afterwards.
 
 import pytest
 
-from repro.dsu.engine import UpdateEngine
+from repro.dsu.engine import UpdateEngine, UpdateRequest
 from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.safepoint import RetryPolicy
 from tests.dsu_helpers import UpdateFixture
 from tests.test_gc_extras import UPDATE_V1, UPDATE_V2
 
@@ -81,9 +82,10 @@ class TestSafepointFaults:
         prepared = fixture.prepare(UPDATE_V2)
         holder = {}
         fixture.vm.events.schedule(55, lambda: holder.update(
-            result=fixture.engine.request_update(
-                prepared, timeout_ms=100, retries=2, backoff=2.0
-            )
+            result=fixture.engine.submit(UpdateRequest(
+                prepared, policy=RetryPolicy(timeout_ms=100, retries=2,
+                                             backoff=2.0)
+            ))
         ))
         fixture.run(until_ms=3_000)
         result = holder["result"]
@@ -120,9 +122,10 @@ class Main {
         prepared = fixture.prepare(self.V2)
         holder = {}
         fixture.vm.events.schedule(25, lambda: holder.update(
-            result=fixture.engine.request_update(
-                prepared, timeout_ms=100, retries=retries, backoff=2.0
-            )
+            result=fixture.engine.submit(UpdateRequest(
+                prepared, policy=RetryPolicy(timeout_ms=100, retries=retries,
+                                             backoff=2.0)
+            ))
         ))
         return holder
 
@@ -280,7 +283,9 @@ class TestTransformerFaults:
         second = {}
         fixture.vm.events.schedule(
             fixture.vm.clock.now_ms + 20,
-            lambda: second.update(result=fixture.engine.request_update(prepared)),
+            lambda: second.update(
+                result=fixture.engine.submit(UpdateRequest(prepared))
+            ),
         )
         fixture.run(until_ms=2_000)
         assert second["result"].succeeded, second["result"].reason

@@ -12,6 +12,7 @@ set."
 
 import pytest
 
+from repro.dsu.engine import UpdateRequest
 from tests.dsu_helpers import UpdateFixture
 
 # ---------------------------------------------------------------------------
@@ -205,7 +206,9 @@ class TestDeletedClassObjects:
         # collection before then under its renamed metadata.
         holder = {}
         vm.events.schedule(
-            60, lambda: holder.update(result=fixture.engine.request_update(prepared))
+            60, lambda: holder.update(
+                result=fixture.engine.submit(UpdateRequest(prepared))
+            )
         )
         fixture.run(until_ms=3_000)
         assert holder["result"].succeeded

@@ -6,6 +6,7 @@ return barrier / OSR / abort) and the program's observable behaviour."""
 
 import pytest
 
+from repro.dsu.engine import UpdateRequest
 from tests.dsu_helpers import UpdateFixture
 
 # ---------------------------------------------------------------------------
@@ -508,7 +509,9 @@ class TestHierarchyPropagation:
         assert "Dog" in prepared.spec.class_updates  # layout propagated
         holder = {}
         fixture.vm.events.schedule(
-            55, lambda: holder.update(result=fixture.engine.request_update(prepared))
+            55, lambda: holder.update(
+                result=fixture.engine.submit(UpdateRequest(prepared))
+            )
         )
         fixture.run(until_ms=3_000)
         assert holder["result"].succeeded, holder["result"].reason

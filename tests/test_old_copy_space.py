@@ -85,20 +85,22 @@ class TestEagerOldCopyReclaim:
 class TestHeapPressure:
     def test_update_gc_overflow_aborts_cleanly(self):
         # A heap sized so the program runs but the update's double copy
-        # cannot fit: the update aborts with a diagnostic, the half-done
-        # collection is rolled back (un-flipped), and the VM keeps running
-        # the old version.
+        # cannot fit: the sizing pre-flight refuses the collection before
+        # any object is copied, the update aborts with an actionable
+        # diagnostic, and the VM keeps running the old version.
         fixture = UpdateFixture(UPDATE_V1, heap_cells=900)
         fixture.start()
+        collections_before = fixture.vm.collector.collections
         holder = fixture.update_at(55, UPDATE_V2)
         fixture.run(until_ms=2_000)
         result = holder["result"]
         assert result.status == "aborted"
-        assert "heap exhausted" in result.reason
         assert result.failed_phase == "gc"
-        assert result.reason_code == "oom"
+        assert result.reason_code == "heap-preflight"
         assert result.rolled_back
         assert fixture.vm.halted is False
+        # Pre-flight means *before* any copying: no collection ever ran.
+        assert fixture.vm.collector.collections == collections_before
         # The old-version heap graph survived the un-flip intact.
         vm = fixture.vm
         pool = vm.registry.get("Pool")
