@@ -196,6 +196,25 @@ def cmd_trace(args) -> int:
     return 1 if row.soundness_problems() else 0
 
 
+def cmd_fleet(args) -> int:
+    """Fleet-scale rolling updates: the 22-update campaign under
+    continuous traffic plus the fault-injection battery."""
+    from .harness.fleet import main as fleet_main
+
+    forwarded: List[str] = [
+        "--members", str(args.members),
+        "--seed", str(args.seed),
+        "--out", args.out,
+    ]
+    if args.updates is not None:
+        forwarded += ["--updates", str(args.updates)]
+    if args.no_scenarios:
+        forwarded.append("--no-scenarios")
+    if args.check:
+        forwarded.append("--check")
+    return fleet_main(forwarded)
+
+
 def _lint_superset_gate(boot_info, prepared, report):
     """Runtime check of the analyzer's central soundness claim: boot the
     old version, adversarially opt-compile *everything* (so every
@@ -528,6 +547,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write per-update restricted-set sizes before and "
                            "after semantic-diff minimization as JSON")
     lint.set_defaults(fn=cmd_dsu_lint)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="rolling updates across an N-member fleet: canary-first "
+             "orchestration under continuous traffic, health-gated "
+             "automatic rollback, and a fleet-level fault-injection "
+             "battery (writes BENCH_fleet.json)",
+    )
+    fleet.add_argument("--members", type=int, default=4,
+                       help="fleet size for the campaign (>= 2)")
+    fleet.add_argument("--seed", type=int, default=11,
+                       help="traffic RNG seed (campaigns are bit-for-bit "
+                            "reproducible for a given seed)")
+    fleet.add_argument("--updates", type=int, default=None, metavar="N",
+                       help="run only the first N update pairs "
+                            "(default: all 22)")
+    fleet.add_argument("--no-scenarios", action="store_true",
+                       help="skip the fault-injection scenarios")
+    fleet.add_argument("--out", default="BENCH_fleet.json",
+                       help="where to write the JSON artifact")
+    fleet.add_argument("--check", action="store_true",
+                       help="exit non-zero on availability below 99%%, an "
+                            "unexpected rollout outcome, or a mishandled "
+                            "fault scenario")
+    fleet.set_defaults(fn=cmd_fleet)
     return parser
 
 

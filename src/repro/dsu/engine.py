@@ -32,7 +32,7 @@ from ..vm.heap import HEAP_BASE, HeapPreflightError, OutOfMemoryError
 from ..vm.machinecode import MethodEntry
 from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
 from ..vm.rvmclass import RVMClass
-from .faults import FaultInjector, InjectedFault
+from .faults import FaultInjector, InjectedFault, VMCrash
 from .safepoint import (
     DEFAULT_TIMEOUT_MS,
     RestrictedSets,
@@ -180,6 +180,13 @@ class UpdateResult:
     classes_installed: int = 0
     requested_at_ms: float = 0.0
     finished_at_ms: float = 0.0
+    #: retained pre-update snapshot (``UpdateRequest.hold_transaction``):
+    #: the update applied, but the caller may still
+    #: :meth:`UpdateEngine.rollback_applied` during a verification window.
+    #: ``None`` once committed, rolled back, or when not requested.
+    transaction: Optional[UpdateTransaction] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total_pause_ms(self) -> float:
@@ -221,6 +228,13 @@ class UpdateRequest:
     #: the whole update (and everything the VM does around it) lands in
     #: this trace instead of the default per-VM one
     tracer: Optional[Tracer] = None
+    #: keep the pre-update transaction snapshot alive after a successful
+    #: apply (canary verification): the caller must end the window with
+    #: :meth:`UpdateEngine.commit_applied` or
+    #: :meth:`UpdateEngine.rollback_applied`. While held, ordinary GC
+    #: stays disabled — a collection would evacuate objects out from under
+    #: the snapshot's heap image.
+    hold_transaction: bool = False
 
     def __post_init__(self):
         if self.lint not in ("off", "warn", "strict"):
@@ -234,6 +248,7 @@ class _ActiveUpdate:
         self.sets = sets
         self.result = result
         self.policy = policy
+        self.hold_transaction = False
         #: current safe-point acquisition round (0-based)
         self.round = 0
         self.round_deadline_ms = started_ms + policy.round_timeout_ms(0)
@@ -377,6 +392,7 @@ class UpdateEngine:
             "dsu.restricted_set_size", len(sets.hard) + len(sets.recompile)
         )
         self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
+        self.active.hold_transaction = request.hold_transaction
         self.active.update_span = update_span
         self.active.round_span = tracer.begin(
             "dsu.safepoint.round", "dsu", round=0,
@@ -387,6 +403,40 @@ class UpdateEngine:
         vm.yield_flag = True
         self._schedule_deadline_check(self.active)
         return result
+
+    # ------------------------------------------------------------------
+    # held-transaction verification window (canary updates)
+
+    def commit_applied(self, result: UpdateResult) -> None:
+        """End a ``hold_transaction`` verification window, keeping the
+        new version: discard the retained snapshot and re-enable GC."""
+        if result.transaction is None:
+            raise ValueError("no held transaction on this result")
+        result.transaction = None
+        self.vm.gc_disabled = False
+        self.vm.metrics.inc("dsu.held_txn_committed")
+
+    def rollback_applied(self, result: UpdateResult) -> None:
+        """Undo a *successfully applied* update from its retained
+        snapshot — the canary regressed during verification.
+
+        The caller must guarantee the world is parked at yield points
+        (the fleet controller calls this between scheduler slices) and
+        that no GC ran since the apply (the engine pinned
+        ``vm.gc_disabled`` for exactly that reason)."""
+        txn = result.transaction
+        if txn is None:
+            raise ValueError("no held transaction on this result")
+        with self.vm.tracer.span(
+            "dsu.canary-rollback", "dsu",
+            old_version=result.old_version,
+            new_version=result.new_version,
+        ):
+            txn.rollback()
+        result.transaction = None
+        self.vm.gc_disabled = False
+        self.vm.update_pending = False
+        self.vm.metrics.inc("dsu.canary_rollbacks")
 
     # ------------------------------------------------------------------
     # world-stop protocol
@@ -701,12 +751,25 @@ class UpdateEngine:
                     # back now rather than waiting for the next collection.
                     vm.heap.reset_ceiling()
                 end_phase("cleanup")
+        except VMCrash:
+            # A simulated process death gets no graceful abort: the VM is
+            # left mid-install, exactly as a real crash would. Whoever owns
+            # the process (the fleet controller) handles recovery.
+            raise
         except Exception as failure:  # noqa: BLE001 — every failure aborts
             self._abort_apply(txn, current_phase, failure)
             return
         finally:
             vm.gc_disabled = gc_was_disabled
 
+        if active.hold_transaction:
+            # Keep the snapshot alive for the caller's verification window.
+            # GC must stay off until commit_applied()/rollback_applied():
+            # a collection would evacuate live objects while the snapshot
+            # still references the pre-update heap image.
+            result.transaction = txn
+            vm.gc_disabled = True
+            vm.metrics.inc("dsu.held_transactions")
         result.objects_transformed = stats.objects_updated
         result.status = APPLIED
         result.finished_at_ms = vm.clock.now_ms

@@ -19,12 +19,21 @@ well-defined hook points, one per update phase:
 
 All counters run on the simulated execution, so injected failures are
 bit-for-bit reproducible.
+
+Fleet-level faults live here too: a :class:`FleetFaultPlan` names failures
+injected *around* the update engine — a member VM crashing mid-update
+(:class:`VMCrash`, which the engine deliberately does **not** convert into
+a graceful abort), a drain that never finishes, a health check that flaps,
+an update that can never acquire its safe point so the orchestrator's
+retry budget runs dry. The fleet controller consults its
+:class:`FleetFaultInjector` at the matching lifecycle points, so every
+robustness path of a rolling update is deterministically testable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .specification import (
     PHASE_CLASSLOAD,
@@ -42,6 +51,20 @@ class InjectedFault(Exception):
         super().__init__(message)
         self.phase = phase
         self.reason_code = REASON_INJECTED_FAULT
+
+
+class VMCrash(Exception):
+    """A simulated process death: the VM is gone, mid-whatever-it-was-doing.
+
+    Unlike :class:`InjectedFault`, the update engine does *not* catch this
+    and roll the transaction back — a crashed process gets no chance to
+    clean up. It propagates out of ``VM.run`` to whoever owns the process
+    (the fleet controller), which must treat the member as lost and
+    recover by restarting it."""
+
+    def __init__(self, message: str, phase: str = ""):
+        super().__init__(message)
+        self.phase = phase
 
 
 @dataclass
@@ -62,6 +85,9 @@ class FaultPlan:
     transformer_raise_at: Optional[int] = None
     #: simulate an ill-defined transformer cycle on the Nth invocation
     transformer_cycle_at: Optional[int] = None
+    #: kill the whole VM (:class:`VMCrash`, no rollback) once this many
+    #: classes have been installed — the "member crash mid-update" fault
+    crash_after_classes: Optional[int] = None
 
 
 class FaultInjector:
@@ -99,6 +125,14 @@ class FaultInjector:
 
     def on_class_installed(self, name: str) -> None:
         self.classes_installed += 1
+        crash_after = self.plan.crash_after_classes
+        if crash_after is not None and self.classes_installed > crash_after:
+            self.fired.append(f"crash: VM died installing {name}")
+            raise VMCrash(
+                f"injected VM crash installing {name} "
+                f"(after {crash_after} classes)",
+                phase=PHASE_CLASSLOAD,
+            )
         fail_after = self.plan.classload_fail_after
         if fail_after is not None and self.classes_installed > fail_after:
             self.fired.append(f"classload: raised installing {name}")
@@ -145,3 +179,80 @@ class FaultInjector:
                 f"injected transformer cycle at object #{index} "
                 "(ill-defined transformer functions, paper §3.4)"
             )
+
+
+# ----------------------------------------------------------------------
+# fleet-level faults
+
+
+@dataclass
+class FleetFaultPlan:
+    """Failures injected around the update engine, at fleet lifecycle
+    points. Members are named by their fleet id (``m0``, ``m1``, ...);
+    ``None`` disables a fault."""
+
+    #: kill this member's VM mid-update (after ``crash_after_classes``
+    #: classes have been installed) — exercises crash recovery
+    crash_member: Optional[str] = None
+    crash_after_classes: int = 0
+    #: this member's drain never quiesces: sessions appear stuck, so the
+    #: drain deadline must fire and the orchestrator must proceed anyway
+    stall_drain_member: Optional[str] = None
+    #: this member's health check reports unhealthy for the first
+    #: ``health_flap_checks`` probes after its update, then recovers —
+    #: the verifier must tolerate the flap without rolling back
+    health_flap_member: Optional[str] = None
+    health_flap_checks: int = 0
+    #: this member's updates never reach a safe point; with
+    #: ``block_update_attempts=None`` every attempt blocks, exhausting
+    #: the orchestrator's retry budget
+    block_update_member: Optional[str] = None
+    block_update_attempts: Optional[int] = None
+
+
+class FleetFaultInjector:
+    """Stateful executor of one :class:`FleetFaultPlan` for one rollout."""
+
+    def __init__(self, plan: FleetFaultPlan):
+        self.plan = plan
+        self._flap_counts: Dict[str, int] = {}
+        self._block_attempts: Dict[str, int] = {}
+        #: human-readable log of every fleet fault that actually fired
+        self.fired: List[str] = []
+
+    def engine_plan_for(self, member: str, attempt: int) -> Optional[FaultPlan]:
+        """Engine-level :class:`FaultPlan` to attach for this member's
+        update attempt, or None for a clean attempt."""
+        if member == self.plan.crash_member:
+            self.fired.append(f"{member}: crash armed (attempt {attempt})")
+            return FaultPlan(crash_after_classes=self.plan.crash_after_classes)
+        if member == self.plan.block_update_member:
+            budget = self.plan.block_update_attempts
+            count = self._block_attempts.get(member, 0)
+            if budget is None or count < budget:
+                self._block_attempts[member] = count + 1
+                self.fired.append(
+                    f"{member}: safepoint blocked (attempt {attempt})"
+                )
+                return FaultPlan(block_safepoint_forever=True)
+        return None
+
+    def stalls_drain(self, member: str) -> bool:
+        """True if this member's drain should never quiesce."""
+        if member == self.plan.stall_drain_member:
+            self.fired.append(f"{member}: drain stalled")
+            return True
+        return False
+
+    def health_override(self, member: str) -> Optional[bool]:
+        """Forced health-check verdict for this probe (None = no override)."""
+        if member == self.plan.health_flap_member:
+            count = self._flap_counts.get(member, 0)
+            if count < self.plan.health_flap_checks:
+                self._flap_counts[member] = count + 1
+                self.fired.append(
+                    f"{member}: health flap "
+                    f"({count + 1}/{self.plan.health_flap_checks})"
+                )
+                return False
+        return None

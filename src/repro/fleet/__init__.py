@@ -1,0 +1,57 @@
+"""Fleet-scale rolling updates: N simulated VMs behind a load balancer,
+updated canary-first with health-gated automatic rollback.
+
+The paper updates one VM; this package scales the mechanism out. A
+:class:`FleetController` runs N :class:`FleetMember` VMs in lockstep on
+the simulated clock, a :class:`LoadBalancer` routes client sessions to
+admitted members, and :meth:`FleetController.rolling_update` drives the
+drain → update → verify → readmit state machine with the
+:class:`~repro.dsu.engine.UpdateEngine` doing the per-VM work and the
+PR-1 transaction snapshot backing the canary's automatic rollback.
+"""
+
+from .balancer import LoadBalancer
+from .controller import (
+    FAULT_CANARY_REGRESSION,
+    FAULT_DRAIN_OVERRUN,
+    FAULT_HEALTH_FLAP,
+    FAULT_MEMBER_CRASH,
+    FAULT_RETRY_EXHAUSTION,
+    FleetController,
+    MemberRollout,
+    RolloutPolicy,
+    RolloutReport,
+)
+from .health import HealthChecker, HealthPolicy, HealthVerdict
+from .member import (
+    STATE_CRASHED,
+    STATE_DRAINING,
+    STATE_SERVING,
+    STATE_UPDATING,
+    STATE_VERIFYING,
+    FleetMember,
+    SessionRecord,
+)
+
+__all__ = [
+    "FleetController",
+    "FleetMember",
+    "HealthChecker",
+    "HealthPolicy",
+    "HealthVerdict",
+    "LoadBalancer",
+    "MemberRollout",
+    "RolloutPolicy",
+    "RolloutReport",
+    "SessionRecord",
+    "STATE_CRASHED",
+    "STATE_DRAINING",
+    "STATE_SERVING",
+    "STATE_UPDATING",
+    "STATE_VERIFYING",
+    "FAULT_CANARY_REGRESSION",
+    "FAULT_DRAIN_OVERRUN",
+    "FAULT_HEALTH_FLAP",
+    "FAULT_MEMBER_CRASH",
+    "FAULT_RETRY_EXHAUSTION",
+]

@@ -1,0 +1,87 @@
+"""The fleet's front door: routes client sessions to healthy members.
+
+The :class:`LoadBalancer` holds the admission set — which members may
+receive new sessions — and picks a target for each arriving session
+round-robin over the admitted, non-crashed, warmed-up members. During a
+canary verification window the balancer biases routing (every other
+session goes to the canary) so the health checker accumulates a verdict
+sample quickly without starving the rest of the fleet.
+
+Routing only chooses the member; the member itself builds the right
+protocol session on its private simulated network
+(:meth:`repro.fleet.member.FleetMember.spawn_session`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..obs.metrics import Metrics
+from .member import STATE_CRASHED, FleetMember, SessionRecord
+
+
+class LoadBalancer:
+    """Round-robin admission control over the fleet's members."""
+
+    def __init__(self, members: Dict[str, FleetMember], metrics: Metrics):
+        self.members = members
+        self.metrics = metrics
+        self.admitted = set(members)
+        #: member name to bias routing toward (canary under verification)
+        self.verify_bias: Optional[str] = None
+        self._rr = 0
+        self._bias_toggle = False
+        #: sessions that arrived with no routable member (all drained or
+        #: crashed) — dropped at the front door, counted as failures
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # admission control
+
+    def admit(self, name: str) -> None:
+        self.admitted.add(name)
+
+    def evict(self, name: str) -> None:
+        self.admitted.discard(name)
+        if self.verify_bias == name:
+            self.verify_bias = None
+
+    def routable(self, now_ms: float) -> List[FleetMember]:
+        """Admitted members that can actually take traffic right now."""
+        return [
+            self.members[name]
+            for name in sorted(self.admitted)
+            if self.members[name].state != STATE_CRASHED
+            and self.members[name].not_before_ms <= now_ms
+        ]
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def pick(self, now_ms: float) -> Optional[FleetMember]:
+        candidates = self.routable(now_ms)
+        if not candidates:
+            return None
+        if self.verify_bias is not None:
+            self._bias_toggle = not self._bias_toggle
+            biased = self.members.get(self.verify_bias)
+            if (
+                self._bias_toggle
+                and biased is not None
+                and biased in candidates
+            ):
+                return biased
+        member = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return member
+
+    def route(self, at_ms: float) -> Optional[SessionRecord]:
+        """Route one arriving session; None if nobody can take it."""
+        member = self.pick(at_ms)
+        if member is None:
+            self.dropped += 1
+            self.metrics.inc("fleet.sessions_dropped")
+            return None
+        record = member.spawn_session(at_ms)
+        self.metrics.inc("fleet.sessions_routed", member=member.name)
+        return record

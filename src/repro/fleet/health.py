@@ -1,0 +1,131 @@
+"""Health checking and the automatic-rollback policy inputs.
+
+A health probe turns one member's recent session outcomes into a verdict:
+``healthy``, ``unhealthy``, or ``insufficient`` (not enough finished
+sessions to judge). The two regression signals are exactly the ones the
+rollout orchestrator's rollback policy watches:
+
+* **error rate** — structured session failures
+  (:mod:`repro.net.loadgen`), where a protocol mismatch or refused
+  connection always counts, and a *timeout* counts only when the session
+  was not a drain casualty: a session cut off by a rolling-update drain
+  deadline is an operational loss, not evidence the new version is bad;
+* **p99 session latency** — the tail of finished-session durations.
+
+Verdicts are computed from the fleet's session records (which feed the
+same per-member labelled series in the fleet metrics registry), so a
+probe is deterministic and free of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..net.loadgen import FAILURE_TIMEOUT
+from .member import FleetMember
+
+HEALTHY = "healthy"
+UNHEALTHY = "unhealthy"
+INSUFFICIENT = "insufficient"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds separating a healthy member from a regressed one."""
+
+    #: fraction of judged sessions allowed to fail
+    max_error_rate: float = 0.25
+    #: p99 finished-session duration ceiling (simulated ms)
+    p99_limit_ms: float = 1_500.0
+    #: minimum finished sessions before a probe may judge at all
+    min_sessions: int = 3
+
+
+@dataclass
+class HealthVerdict:
+    """One probe's outcome for one member."""
+
+    member: str
+    status: str
+    sessions: int = 0
+    errors: int = 0
+    error_rate: float = 0.0
+    p99_ms: float = 0.0
+    reason: str = ""
+    #: True when a fleet fault injector forced this verdict
+    injected: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == HEALTHY
+
+    def to_dict(self) -> dict:
+        return {
+            "member": self.member,
+            "status": self.status,
+            "sessions": self.sessions,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 4),
+            "p99_ms": round(self.p99_ms, 3),
+            "reason": self.reason,
+            "injected": self.injected,
+        }
+
+
+@dataclass
+class HealthChecker:
+    """Stateless probe evaluator over a member's session records."""
+
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+
+    def probe(self, member: FleetMember, since_ms: float) -> HealthVerdict:
+        """Judge ``member`` on sessions *started* at or after ``since_ms``
+        that have finished (a verification window starts the clock when
+        the member is readmitted post-update)."""
+        judged = 0
+        errors = 0
+        durations: List[float] = []
+        for record in member.sessions:
+            if record.routed_at_ms < since_ms or not record.done:
+                continue
+            if record.lost:
+                judged += 1
+                errors += 1
+                continue
+            judged += 1
+            if record.succeeded:
+                if record.duration_ms is not None:
+                    durations.append(record.duration_ms)
+                continue
+            kind = record.failure_kind
+            if kind == FAILURE_TIMEOUT and record.drain_casualty:
+                # Drain overruns are operational, not a server regression.
+                judged -= 1
+                continue
+            errors += 1
+        if judged < self.policy.min_sessions:
+            return HealthVerdict(
+                member.name, INSUFFICIENT, sessions=judged, errors=errors,
+                reason=f"only {judged} finished sessions "
+                       f"(need {self.policy.min_sessions})",
+            )
+        error_rate = errors / judged
+        p99 = 0.0
+        if durations:
+            ordered = sorted(durations)
+            p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        if error_rate > self.policy.max_error_rate:
+            return HealthVerdict(
+                member.name, UNHEALTHY, judged, errors, error_rate, p99,
+                reason=f"error rate {error_rate:.0%} over "
+                       f"{self.policy.max_error_rate:.0%}",
+            )
+        if p99 > self.policy.p99_limit_ms:
+            return HealthVerdict(
+                member.name, UNHEALTHY, judged, errors, error_rate, p99,
+                reason=f"p99 {p99:.1f}ms over {self.policy.p99_limit_ms}ms",
+            )
+        return HealthVerdict(
+            member.name, HEALTHY, judged, errors, error_rate, p99
+        )

@@ -14,6 +14,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from .loadgen import (
+    FAILURE_PROTOCOL,
+    FAILURE_REFUSED,
+    FAILURE_TIMEOUT,
+    SessionFailure,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.vm import VM
 
@@ -40,7 +47,8 @@ class HttpConnectionClient:
         self.bytes_received = 0
         self.statuses: List[int] = []
         self.done = False
-        self.failed: Optional[str] = None
+        self.failed: Optional[SessionFailure] = None
+        self.finished_at: Optional[float] = None
         self._endpoint = None
         self._buffer = ""
         self._request_sent_at: Optional[float] = None
@@ -57,7 +65,8 @@ class HttpConnectionClient:
         try:
             self._endpoint = self.vm.network.client_connect(self.port)
         except ConnectionRefusedError as exc:
-            self._fail(str(exc))
+            self._started_at = self.vm.clock.now_ms
+            self._fail(str(exc), kind=FAILURE_REFUSED)
             return
         self._started_at = self.vm.clock.now_ms
         self._send_next_request()
@@ -73,9 +82,10 @@ class HttpConnectionClient:
     def _schedule_poll(self) -> None:
         self.vm.events.schedule(self.vm.clock.now_ms + self.poll_ms, self._poll)
 
-    def _fail(self, reason: str) -> None:
-        self.failed = reason
+    def _fail(self, reason: str, kind: str = FAILURE_PROTOCOL) -> None:
+        self.failed = SessionFailure(kind, reason)
         self.done = True
+        self.finished_at = self.vm.clock.now_ms
         if self._endpoint is not None:
             self._endpoint.close()
 
@@ -84,7 +94,10 @@ class HttpConnectionClient:
             return
         assert self._started_at is not None
         if self.vm.clock.now_ms - self._started_at > self.timeout_ms:
-            self._fail(f"timeout after {len(self.latencies_ms)} responses")
+            self._fail(
+                f"timeout after {len(self.latencies_ms)} responses",
+                kind=FAILURE_TIMEOUT,
+            )
             return
         self._buffer += self._endpoint.receive()
         response = self._try_parse_response()
@@ -97,6 +110,7 @@ class HttpConnectionClient:
             if self._requests_issued >= self.num_requests:
                 self._endpoint.close()
                 self.done = True
+                self.finished_at = self.vm.clock.now_ms
                 return
             self._send_next_request()
             response = self._try_parse_response()
@@ -128,6 +142,20 @@ class HttpConnectionClient:
     @property
     def succeeded(self) -> bool:
         return self.done and self.failed is None
+
+    @property
+    def failure_kind(self) -> str:
+        return self.failed.kind if self.failed is not None else ""
+
+    @property
+    def started_at(self) -> Optional[float]:
+        return self._started_at
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self._started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self._started_at
 
 
 class HttperfLoad:

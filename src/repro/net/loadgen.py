@@ -9,10 +9,21 @@ Two building blocks:
 
 The httperf-style HTTP load generator lives in
 :mod:`repro.net.httpclient`, as its measurement needs differ.
+
+Failures are structured: a session that does not complete records a
+:class:`SessionFailure` naming *why* — a timeout, a refused connection,
+or a protocol mismatch (the server closed the stream before an expected
+line arrived). The fleet health checker relies on the distinction: a
+timeout on a session caught by a rolling-update drain is an operational
+casualty, not a server regression, while a protocol mismatch after an
+update is exactly the regression signal that should trigger a rollback.
 """
 
 from __future__ import annotations
 
+import random
+
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -21,6 +32,30 @@ if TYPE_CHECKING:  # pragma: no cover
 #: script steps: ("send", text) appends CRLF; ("expect", substring) waits
 #: for a line containing substring; ("close",) half-closes the client side.
 Step = Tuple[str, ...]
+
+#: structured failure kinds (:attr:`SessionFailure.kind`)
+FAILURE_TIMEOUT = "timeout"
+FAILURE_REFUSED = "connection-refused"
+FAILURE_PROTOCOL = "protocol-mismatch"
+
+FAILURE_KINDS = (FAILURE_TIMEOUT, FAILURE_REFUSED, FAILURE_PROTOCOL)
+
+
+@dataclass(frozen=True)
+class SessionFailure:
+    """Why a session failed, as a machine-readable category plus detail.
+
+    Stringifies to the old free-text reason, so existing callers that
+    interpolate ``session.failed`` into assertion messages keep working.
+    """
+
+    kind: str
+    detail: str = ""
+    #: script step the session was on when it failed (-1 = before any)
+    step_index: int = -1
+
+    def __str__(self) -> str:
+        return self.detail or self.kind
 
 
 class ScriptedSession:
@@ -44,7 +79,7 @@ class ScriptedSession:
         self.transcript: List[str] = []
         self.step_index = 0
         self.done = False
-        self.failed: Optional[str] = None
+        self.failed: Optional[SessionFailure] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self._endpoint = None
@@ -59,7 +94,8 @@ class ScriptedSession:
         try:
             self._endpoint = self.vm.network.client_connect(self.port)
         except ConnectionRefusedError as exc:
-            self._fail(str(exc))
+            self.started_at = self.vm.clock.now_ms
+            self._fail(FAILURE_REFUSED, str(exc))
             return
         self.started_at = self.vm.clock.now_ms
         self._schedule_poll()
@@ -67,8 +103,8 @@ class ScriptedSession:
     def _schedule_poll(self) -> None:
         self.vm.events.schedule(self.vm.clock.now_ms + self.poll_ms, self._poll)
 
-    def _fail(self, reason: str) -> None:
-        self.failed = reason
+    def _fail(self, kind: str, detail: str = "") -> None:
+        self.failed = SessionFailure(kind, detail, self.step_index)
         self.done = True
         self.finished_at = self.vm.clock.now_ms
         if self._endpoint is not None:
@@ -78,12 +114,20 @@ class ScriptedSession:
         self.done = True
         self.finished_at = self.vm.clock.now_ms
 
+    def _current_step(self) -> str:
+        if self.step_index < len(self.script):
+            return repr(self.script[self.step_index])
+        return "<end>"
+
     def _poll(self) -> None:
         if self.done:
             return
         assert self.started_at is not None
         if self.vm.clock.now_ms - self.started_at > self.timeout_ms:
-            self._fail(f"timeout at step {self.step_index}: {self.script[self.step_index] if self.step_index < len(self.script) else '<end>'}")
+            self._fail(
+                FAILURE_TIMEOUT,
+                f"timeout at step {self.step_index}: {self._current_step()}",
+            )
             return
         while True:
             line = self._endpoint.receive_line()
@@ -95,6 +139,21 @@ class ScriptedSession:
             progressed = self._try_step()
         if self.step_index >= len(self.script):
             self._finish()
+            return
+        # A half-open wait on a server that already closed the stream can
+        # never progress: the expected line will never arrive. That is a
+        # protocol mismatch (wrong server build), not a timeout.
+        step = self.script[self.step_index]
+        if (
+            step[0] == "expect"
+            and self._endpoint.server_closed
+            and self._endpoint.pending_bytes() == 0
+        ):
+            self._fail(
+                FAILURE_PROTOCOL,
+                f"server closed before {self._current_step()} matched "
+                f"at step {self.step_index}",
+            )
             return
         self._schedule_poll()
 
@@ -127,6 +186,11 @@ class ScriptedSession:
         return self.done and self.failed is None
 
     @property
+    def failure_kind(self) -> str:
+        """Machine-readable failure category ("" while alive/succeeded)."""
+        return self.failed.kind if self.failed is not None else ""
+
+    @property
     def duration_ms(self) -> Optional[float]:
         if self.started_at is None or self.finished_at is None:
             return None
@@ -134,7 +198,16 @@ class ScriptedSession:
 
 
 class SessionLoad:
-    """Spawns scripted sessions on a schedule and aggregates outcomes."""
+    """Spawns scripted sessions on a schedule and aggregates outcomes.
+
+    ``seed`` makes the spawn schedule deterministic *and* jittered: each
+    session's start time gets a uniform offset in ``[0, jitter_ms)`` drawn
+    from a private :class:`random.Random` seeded with ``seed``, so fleet
+    campaigns that re-run with the same seed are bit-for-bit reproducible
+    while still avoiding the lockstep arrival pattern a fixed interval
+    produces. With ``seed=None`` (the default) no jitter is applied and
+    the schedule is the historical fixed-interval one.
+    """
 
     def __init__(
         self,
@@ -144,14 +217,23 @@ class SessionLoad:
         start_ms: float,
         interval_ms: float,
         count: int,
+        seed: Optional[int] = None,
+        jitter_ms: float = 0.0,
         **session_kwargs,
     ):
+        self.seed = seed
+        self.jitter_ms = jitter_ms
+        rng = random.Random(seed) if seed is not None else None
+        self.spawn_times: List[float] = []
         self.sessions: List[ScriptedSession] = []
         for index in range(count):
+            jitter = rng.uniform(0.0, jitter_ms) if rng is not None else 0.0
+            at_ms = start_ms + index * interval_ms + jitter
             session = ScriptedSession(
                 vm, port, script_factory(index), name=f"load-{index}", **session_kwargs
             )
-            session.start(start_ms + index * interval_ms)
+            session.start(at_ms)
+            self.spawn_times.append(at_ms)
             self.sessions.append(session)
 
     @property
@@ -164,3 +246,7 @@ class SessionLoad:
 
     def failure_reasons(self) -> List[str]:
         return [f"{s.name}: {s.failed}" for s in self.failed]
+
+    def failure_kinds(self) -> List[str]:
+        """The structured failure category of every failed session."""
+        return [s.failure_kind for s in self.failed]

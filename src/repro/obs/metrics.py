@@ -5,12 +5,35 @@ invocations); histograms summarize distributions (safe-point wait,
 restricted-set sizes, cells copied per collection). Values come from the
 simulated clock and simulated work counts, so snapshots are deterministic
 and can be asserted exactly in tests.
+
+Series can carry **labels** (``metrics.inc("fleet.sessions", member="m2")``)
+— the fleet layer uses one label per fleet member so a single registry
+holds the whole fleet's per-member health series. Labelled series are
+stored under a Prometheus-style flattened name (``fleet.sessions{member=m2}``)
+so snapshots stay plain string-keyed dicts.
+
+Histograms additionally retain a bounded sample buffer, giving exact
+percentiles (p50/p99 tail latency) for the session-latency series the
+rollback policy watches; the buffer is capped so memory stays bounded on
+long campaigns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+#: retained observations per histogram; beyond this, percentile() reports
+#: on the first _SAMPLE_CAP samples (count/total/min/max stay exact)
+_SAMPLE_CAP = 8192
+
+
+def _series_name(name: str, labels: Dict[str, str]) -> str:
+    """Flatten ``name`` + labels into one stable registry key."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
 
 
 @dataclass
@@ -27,7 +50,7 @@ class Counter:
 @dataclass
 class Histogram:
     """Streaming summary of an observed distribution (count / sum /
-    min / max / mean); no reservoir, so memory stays O(1)."""
+    min / max / mean), plus a bounded sample buffer for percentiles."""
 
     name: str
     count: int = 0
@@ -36,6 +59,8 @@ class Histogram:
     max: Optional[float] = None
     #: most recent observation, handy for "the last update's X" queries
     last: Optional[float] = None
+    #: retained observations (capped at ``_SAMPLE_CAP``)
+    samples: List[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -45,10 +70,21 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self.samples) < _SAMPLE_CAP:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Exact percentile over the retained samples (0.99 = p99).
+        Returns 0.0 for an empty histogram."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[index]
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -68,25 +104,31 @@ class Metrics:
     counters: Dict[str, Counter] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
 
-    def counter(self, name: str) -> Counter:
-        counter = self.counters.get(name)
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _series_name(name, labels)
+        counter = self.counters.get(key)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            counter = self.counters[key] = Counter(key)
         return counter
 
-    def histogram(self, name: str) -> Histogram:
-        histogram = self.histograms.get(name)
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = _series_name(name, labels)
+        histogram = self.histograms.get(key)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
+            histogram = self.histograms[key] = Histogram(key)
         return histogram
 
     # Convenience single-call forms.
 
-    def inc(self, name: str, amount: int = 1) -> None:
-        self.counter(name).inc(amount)
+    def inc(self, name: str, amount: int = 1, **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def labelled(self, name: str, **labels: str) -> str:
+        """The flattened registry key a labelled series is stored under."""
+        return _series_name(name, labels)
 
     def snapshot(self) -> Dict[str, dict]:
         """Plain-dict snapshot (stable key order) for JSON export and

@@ -1,7 +1,17 @@
-"""Unit tests for the simulated network, the event queue and the clock."""
+"""Unit tests for the simulated network, the event queue, the clock, and
+the load generator's seeding and structured-failure contracts."""
 
 import pytest
 
+from repro.net.loadgen import (
+    FAILURE_KINDS,
+    FAILURE_PROTOCOL,
+    FAILURE_REFUSED,
+    FAILURE_TIMEOUT,
+    ScriptedSession,
+    SessionFailure,
+    SessionLoad,
+)
 from repro.net.sockets import Network
 from repro.vm.clock import Clock, CostModel, PhaseTimer
 from repro.vm.events import EventQueue
@@ -169,3 +179,85 @@ class TestClock:
         elapsed = timer.stop("gc")
         assert elapsed == 2.0
         assert timer.totals_ms["gc"] == 2.0
+
+
+class _LoadgenVM:
+    """Just enough VM surface for session scheduling tests: an event
+    queue, a network, and a clock position."""
+
+    class _Clock:
+        now_ms = 0.0
+
+    def __init__(self):
+        self.events = EventQueue()
+        self.network = Network()
+        self.clock = self._Clock()
+
+    def drain_events(self, until_ms):
+        self.clock.now_ms = until_ms
+        for callback in self.events.pop_due(until_ms):
+            callback()
+
+
+class TestSessionFailure:
+    def test_failure_kinds_are_closed_and_distinct(self):
+        assert FAILURE_KINDS == (
+            FAILURE_TIMEOUT, FAILURE_REFUSED, FAILURE_PROTOCOL,
+        )
+        assert len(set(FAILURE_KINDS)) == 3
+
+    def test_stringifies_to_the_detail_for_old_callers(self):
+        failure = SessionFailure(FAILURE_TIMEOUT, "timeout at step 2", 2)
+        assert str(failure) == "timeout at step 2"
+        assert SessionFailure(FAILURE_REFUSED).kind == str(
+            SessionFailure(FAILURE_REFUSED)
+        )
+
+    def test_refused_connection_reports_structured_kind(self):
+        vm = _LoadgenVM()
+        session = ScriptedSession(vm, 9999, [("send", "HELO")]).start(5.0)
+        assert session.failure_kind == ""  # not failed yet
+        vm.drain_events(10.0)
+        assert session.done and not session.succeeded
+        assert session.failed.kind == FAILURE_REFUSED
+        assert session.failure_kind == FAILURE_REFUSED
+        assert session.failed.step_index == 0
+
+
+class TestSessionLoadSeeding:
+    @staticmethod
+    def spawn_times(seed, jitter_ms=9.0, count=12):
+        load = SessionLoad(
+            _LoadgenVM(), 9999, lambda i: [("send", "x")],
+            start_ms=10.0, interval_ms=50.0, count=count,
+            seed=seed, jitter_ms=jitter_ms,
+        )
+        return load.spawn_times
+
+    def test_same_seed_is_bit_for_bit_reproducible(self):
+        assert self.spawn_times(42) == self.spawn_times(42)
+
+    def test_different_seeds_diverge(self):
+        assert self.spawn_times(42) != self.spawn_times(43)
+
+    def test_jitter_stays_within_the_window(self):
+        for index, at_ms in enumerate(self.spawn_times(42)):
+            base = 10.0 + index * 50.0
+            assert base <= at_ms < base + 9.0
+
+    def test_no_seed_keeps_the_historical_fixed_schedule(self):
+        times = self.spawn_times(None, jitter_ms=9.0, count=5)
+        assert times == [10.0, 60.0, 110.0, 160.0, 210.0]
+
+    def test_failure_kinds_aggregates_structured_categories(self):
+        vm = _LoadgenVM()
+        load = SessionLoad(
+            vm, 9999, lambda i: [("send", "x")],
+            start_ms=0.0, interval_ms=10.0, count=3,
+        )
+        vm.drain_events(100.0)
+        assert load.completed == 0
+        assert load.failure_kinds() == [FAILURE_REFUSED] * 3
+        assert all(
+            reason.startswith("load-") for reason in load.failure_reasons()
+        )

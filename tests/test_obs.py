@@ -154,6 +154,42 @@ class TestMetrics:
         metrics.inc("a")
         assert first["counters"]["a"] == 1  # snapshot unaffected
 
+    def test_labelled_series_flatten_to_stable_keys(self):
+        metrics = Metrics()
+        metrics.inc("fleet.sessions", member="m2")
+        metrics.inc("fleet.sessions", member="m2")
+        metrics.inc("fleet.sessions", member="m0")
+        key = metrics.labelled("fleet.sessions", member="m2")
+        assert key == "fleet.sessions{member=m2}"
+        assert metrics.counters[key].value == 2
+        # Label order never matters: keys render labels sorted by name.
+        assert metrics.labelled("x", b="2", a="1") == metrics.labelled(
+            "x", a="1", b="2"
+        )
+        # The unlabelled series is a distinct sibling.
+        metrics.inc("fleet.sessions")
+        assert metrics.counters["fleet.sessions"].value == 1
+
+    def test_labelled_histograms_are_independent(self):
+        metrics = Metrics()
+        metrics.observe("latency_ms", 5.0, member="m0")
+        metrics.observe("latency_ms", 50.0, member="m1")
+        m0 = metrics.histogram("latency_ms", member="m0")
+        m1 = metrics.histogram("latency_ms", member="m1")
+        assert m0 is not m1
+        assert m0.max == 5.0 and m1.min == 50.0
+
+    def test_histogram_percentiles(self):
+        metrics = Metrics()
+        for value in range(1, 101):
+            metrics.observe("d", float(value))
+        histogram = metrics.histograms["d"]
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(0.5) == 51.0
+        assert histogram.percentile(0.99) == 100.0
+        assert histogram.percentile(1.0) == 100.0  # clamped to the max
+        assert Metrics().histogram("empty").percentile(0.99) == 0.0
+
 
 # ---------------------------------------------------------------------------
 # PhaseTimer tolerance (mismatched / nested start-stop pairs)

@@ -1,0 +1,118 @@
+"""RetryPolicy edge cases: zero-retry configs, backoff growth past the
+base timeout budget, and retry exhaustion reporting the correct abort
+reason through the engine.
+
+Complements ``test_dsu_faults.TestSafepointFaults`` (which covers the
+happy retry paths) with the policy's boundary behavior.
+"""
+
+import pytest
+
+from repro.dsu.engine import UpdateRequest
+from repro.dsu.faults import FaultPlan
+from repro.dsu.safepoint import DEFAULT_TIMEOUT_MS, RetryPolicy
+from repro.dsu.specification import PHASE_SAFEPOINT, REASON_TIMEOUT
+from tests.dsu_helpers import UpdateFixture
+from tests.test_dsu_faults import (
+    assert_clean_abort,
+    assert_old_version_workload_completes,
+    inject,
+)
+from tests.test_gc_extras import UPDATE_V1, UPDATE_V2
+
+
+class TestRetryPolicyShape:
+    def test_defaults_match_the_papers_window(self):
+        policy = RetryPolicy()
+        assert policy.timeout_ms == DEFAULT_TIMEOUT_MS == 15_000.0
+        assert policy.retries == 0
+        assert policy.rounds == 1
+
+    def test_zero_retry_budget_is_exactly_the_timeout(self):
+        policy = RetryPolicy(timeout_ms=250.0, retries=0, backoff=8.0)
+        assert policy.rounds == 1
+        # backoff is irrelevant with a single round
+        assert policy.round_timeout_ms(0) == 250.0
+        assert policy.total_budget_ms() == 250.0
+
+    def test_backoff_grows_each_round_past_the_base_timeout(self):
+        policy = RetryPolicy(timeout_ms=100.0, retries=3, backoff=2.0)
+        assert [policy.round_timeout_ms(k) for k in range(policy.rounds)] == [
+            100.0, 200.0, 400.0, 800.0,
+        ]
+        assert policy.total_budget_ms() == 1_500.0
+
+    def test_backoff_one_keeps_rounds_flat(self):
+        policy = RetryPolicy(timeout_ms=100.0, retries=4, backoff=1.0)
+        assert policy.total_budget_ms() == 500.0
+        assert policy.round_timeout_ms(4) == 100.0
+
+    def test_large_backoff_budget_stays_finite_and_exact(self):
+        # A steep backoff overflows the *base* timeout budget quickly; the
+        # total must still be the exact geometric sum, not an overflow.
+        policy = RetryPolicy(timeout_ms=10.0, retries=9, backoff=10.0)
+        assert policy.round_timeout_ms(9) == 10.0 * 10.0 ** 9
+        assert policy.total_budget_ms() == sum(
+            10.0 * 10.0 ** k for k in range(10)
+        )
+
+    def test_invalid_configs_are_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=-5.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=100.0, retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ms=100.0, backoff=0.5)
+
+
+class TestRetryExhaustionReporting:
+    def submit_blocked(self, retries, backoff=2.0, timeout_ms=100.0):
+        fixture = inject(
+            UpdateFixture(UPDATE_V1),
+            FaultPlan(block_safepoint_forever=True),
+        ).start()
+        prepared = fixture.prepare(UPDATE_V2)
+        holder = {}
+        fixture.vm.events.schedule(55, lambda: holder.update(
+            result=fixture.engine.submit(UpdateRequest(
+                prepared,
+                policy=RetryPolicy(timeout_ms=timeout_ms, retries=retries,
+                                   backoff=backoff),
+            ))
+        ))
+        fixture.run(until_ms=5_000)
+        return fixture, holder["result"]
+
+    def test_zero_retries_aborts_after_one_round(self):
+        fixture, result = self.submit_blocked(retries=0)
+        assert_clean_abort(fixture, result, PHASE_SAFEPOINT, REASON_TIMEOUT,
+                           rolled_back=False)
+        assert result.retry_rounds == 0
+        assert result.rounds_allowed == 1
+        # A single 100 ms round: the abort lands right after it expires,
+        # well before a second round's worth of waiting.
+        elapsed = result.finished_at_ms - result.requested_at_ms
+        assert 100.0 <= elapsed < 300.0
+        assert_old_version_workload_completes(fixture)
+
+    def test_exhaustion_reports_timeout_not_generic_failure(self):
+        fixture, result = self.submit_blocked(retries=2)
+        assert_clean_abort(fixture, result, PHASE_SAFEPOINT, REASON_TIMEOUT,
+                           rolled_back=False)
+        assert result.retry_rounds == 2
+        assert result.rounds_allowed == 3
+        assert "timeout" in result.reason
+        assert "<injected-safepoint-blocker>" in result.blockers_seen
+
+    def test_steep_backoff_spends_the_whole_budget_before_aborting(self):
+        policy = RetryPolicy(timeout_ms=50.0, retries=2, backoff=4.0)
+        fixture, result = self.submit_blocked(retries=2, backoff=4.0,
+                                              timeout_ms=50.0)
+        assert_clean_abort(fixture, result, PHASE_SAFEPOINT, REASON_TIMEOUT,
+                           rolled_back=False)
+        # 50 + 200 + 800 sim-ms: every round's extension must elapse.
+        assert policy.total_budget_ms() == 1_050.0
+        elapsed = result.finished_at_ms - result.requested_at_ms
+        assert elapsed >= policy.total_budget_ms()
