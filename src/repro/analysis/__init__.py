@@ -22,6 +22,10 @@ Four passes share one bytecode call graph:
    interpretation of ``jvolveObject``/``jvolveClass`` against the
    reconstructed transform-time class table.
 
+A fifth pass, **con-freeness classification** (:mod:`.confree`), reuses
+pass 1's graph to decide whether the update is ``bypass-eligible`` for
+the engine's zero-pause immediate-bypass mode or ``requires-safepoint``.
+
 :func:`analyze_update` is the single entry point; ``repro.dsu.validation``
 and the ``dsu-lint`` CLI subcommand are thin wrappers over it.
 """
@@ -35,6 +39,14 @@ from ..compiler.compile import compile_prelude
 from ..dsu.upt import PreparedUpdate
 from .callgraph import CallGraph, UnresolvedCall, build_call_graph
 from .closure import RestrictionClosure, compute_closure, recompute_category2
+from .confree import (
+    CONFREE_RULES,
+    ConFreeVerdict,
+    VERDICT_BYPASS,
+    VERDICT_SAFEPOINT,
+    VerdictStep,
+    classify_update,
+)
 from .reachability import (
     BLOCKING_NATIVES,
     check_reachability,
@@ -58,15 +70,21 @@ from .transformers import build_transform_table, check_transformers
 __all__ = [
     "AnalysisReport",
     "BLOCKING_NATIVES",
+    "CONFREE_RULES",
     "CallGraph",
+    "ConFreeVerdict",
     "Diagnostic",
     "RestrictionClosure",
     "UnresolvedCall",
+    "VERDICT_BYPASS",
+    "VERDICT_SAFEPOINT",
+    "VerdictStep",
     "analyze_update",
     "build_call_graph",
     "build_transform_table",
     "check_reachability",
     "check_transformers",
+    "classify_update",
     "compute_closure",
     "format_method",
     "method_may_never_return",
@@ -196,6 +214,11 @@ def analyze_update(
                 f"site(s) in total (first {_UNRESOLVED_REPORT_CAP} shown)",
             )
         )
+
+    # Con-freeness / backward-compatibility verdict: is this update
+    # eligible for the zero-pause immediate-bypass mode? Shares pass 1's
+    # call graph so the CHA edges match every other pass.
+    report.bc_verdict = classify_update(old_classfiles, prepared, graph)
 
     # Pass 2: restriction closure + category-2 staleness.
     closure, closure_diagnostics = compute_closure(

@@ -1,0 +1,300 @@
+"""Con-freeness classification: which updates may bypass the safe point.
+
+Shen & Bazzi formalize *con-freeness*: an update is safe to apply while
+old and new code coexist when no surviving old activation can observe the
+new version's changed behavior through state or calls it is not prepared
+for. BEAM exploits the same property operationally by keeping a "current"
+and an "old" version of every module loaded at once.
+
+This pass decides, statically and conservatively, whether a prepared
+update qualifies for the engine's **immediate-bypass** apply mode: new
+method bodies are installed under version tagging with *no* safe-point
+acquisition, no thread suspension, and no update GC; in-flight frames
+finish on the old code while every new invocation binds the new body.
+
+The verdict is ``bypass-eligible`` only when every rule below passes:
+
+**Shape rules** (the update must be method-body-only):
+
+- ``CF-SHAPE01`` — no class layout/signature updates (and hence no
+  object transformers and no update GC);
+- ``CF-SHAPE02`` — no classes added or deleted (the class table keys,
+  TIBs, and the JTOC are untouched);
+- ``CF-SHAPE03`` — no methods added or deleted (every dispatch site in
+  old code still resolves, old frames can never call a missing method);
+- ``CF-SHAPE04`` — no category-2 methods (no unchanged body bakes a
+  stale offset: nothing needs recompilation beyond the changed bodies);
+- ``CF-SHAPE05`` — no blacklisted (category-3) methods: the user
+  demanded those be off-stack, which only a safe point can prove;
+- ``CF-SHAPE06`` — no ``<clinit>`` body change (static initializers ran
+  already; a changed one would silently never re-run);
+- ``CF-SHAPE07`` — the update changes at least one method body (the
+  empty update has nothing to bypass *to*).
+
+**Con-freeness rules** (old frames must never observe a new body
+mid-flight), proven over the old program's call graph (CHA, superclass
+chains, the same graph every other ``dsu-lint`` pass shares):
+
+- ``CF-CALL01`` — no changed method transitively reaches a changed
+  method (itself included). An in-flight old frame of a changed method
+  keeps running its old code; if it could call into a changed method,
+  that call would bind the *new* body and the old frame would see new
+  semantics half way through — exactly the mixed execution con-freeness
+  forbids. Unchanged callers are fine: their code is identical in both
+  versions, so calling the new body is the new program's own behavior.
+- ``CF-CALL02`` — no method in a changed method's transitive closure
+  has an unresolved call site. An unresolved edge means the closure is
+  incomplete, so CF-CALL01's proof does not hold; classify
+  conservatively as requires-safepoint.
+
+Bodies the semantic-diff engine proved equivalent are already absent
+from ``spec.method_body_updates`` (they are not replaced at all), so the
+canonicalizer's minimization feeds straight into this verdict: an update
+whose only "changes" are proven-equivalent bodies classifies via
+``CF-SHAPE07`` as having nothing to bypass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..bytecode.classfile import CLINIT_NAME, ClassFile
+from ..compiler.compile import compile_prelude
+from ..dsu.specification import MethodKey
+from ..dsu.upt import PreparedUpdate
+from .callgraph import CallGraph, build_call_graph
+from .report import format_method
+
+VERDICT_BYPASS = "bypass-eligible"
+VERDICT_SAFEPOINT = "requires-safepoint"
+
+RULE_NO_CLASS_UPDATES = "CF-SHAPE01"
+RULE_NO_CLASS_SET_CHANGE = "CF-SHAPE02"
+RULE_NO_METHOD_SET_CHANGE = "CF-SHAPE03"
+RULE_NO_CATEGORY2 = "CF-SHAPE04"
+RULE_NO_BLACKLIST = "CF-SHAPE05"
+RULE_NO_CLINIT_CHANGE = "CF-SHAPE06"
+RULE_NONEMPTY = "CF-SHAPE07"
+RULE_CHANGED_REACHES_CHANGED = "CF-CALL01"
+RULE_CLOSURE_RESOLVED = "CF-CALL02"
+
+#: every rule, in evaluation order — the explanation chain lists them all
+CONFREE_RULES = (
+    RULE_NO_CLASS_UPDATES,
+    RULE_NO_CLASS_SET_CHANGE,
+    RULE_NO_METHOD_SET_CHANGE,
+    RULE_NO_CATEGORY2,
+    RULE_NO_BLACKLIST,
+    RULE_NO_CLINIT_CHANGE,
+    RULE_NONEMPTY,
+    RULE_CHANGED_REACHES_CHANGED,
+    RULE_CLOSURE_RESOLVED,
+)
+
+
+@dataclass(frozen=True)
+class VerdictStep:
+    """One link of the explanation chain: a rule applied to a subject."""
+
+    rule: str
+    #: the class or method the step is anchored to; ``"*"`` for the whole
+    #: update
+    subject: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "ok" if self.ok else "VIOLATION"
+        return f"{self.rule} [{self.subject}] {mark}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "subject": self.subject,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ConFreeVerdict:
+    """The con-freeness classification of one prepared update."""
+
+    old_version: str
+    new_version: str
+    steps: List[VerdictStep] = field(default_factory=list)
+
+    @property
+    def eligible(self) -> bool:
+        return all(step.ok for step in self.steps)
+
+    @property
+    def verdict(self) -> str:
+        return VERDICT_BYPASS if self.eligible else VERDICT_SAFEPOINT
+
+    def violations(self) -> List[VerdictStep]:
+        return [step for step in self.steps if not step.ok]
+
+    def steps_for(self, subject: str) -> List[VerdictStep]:
+        """The chain restricted to one class or method (prefix match on
+        the class name, so ``Foo`` also selects ``Foo.bar(...)`` steps)."""
+        return [
+            step for step in self.steps
+            if step.subject == subject
+            or step.subject.startswith(subject + ".")
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "old_version": self.old_version,
+            "new_version": self.new_version,
+            "verdict": self.verdict,
+            "eligible": self.eligible,
+            "violated_rules": sorted({s.rule for s in self.violations()}),
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"bc-verdict {self.old_version} -> {self.new_version}: "
+            f"{self.verdict}"
+        ]
+        for step in self.steps:
+            lines.append(f"  {step}")
+        return "\n".join(lines)
+
+
+def _step(
+    steps: List[VerdictStep], rule: str, subject: str, ok: bool, detail: str
+) -> None:
+    steps.append(VerdictStep(rule, subject, ok, detail))
+
+
+def classify_update(
+    old_classfiles: Dict[str, ClassFile],
+    prepared: PreparedUpdate,
+    graph: Optional[CallGraph] = None,
+) -> ConFreeVerdict:
+    """Classify one prepared update as bypass-eligible or
+    requires-safepoint, with the full explanation chain.
+
+    ``graph`` may carry a pre-built call graph over the old program plus
+    prelude (``analyze_update`` reuses its pass-1 graph); when omitted,
+    one is built here.
+    """
+    spec = prepared.spec
+    steps: List[VerdictStep] = []
+
+    # --- shape rules --------------------------------------------------
+    if spec.class_updates:
+        for name in sorted(spec.class_updates):
+            _step(steps, RULE_NO_CLASS_UPDATES, name, False,
+                  "class signature/layout changed: old instances would "
+                  "need transformation under a stopped world")
+    else:
+        _step(steps, RULE_NO_CLASS_UPDATES, "*", True,
+              "no class signature or layout changes")
+
+    set_changes = sorted(spec.added_classes | spec.deleted_classes)
+    if set_changes:
+        for name in set_changes:
+            kind = "added" if name in spec.added_classes else "deleted"
+            _step(steps, RULE_NO_CLASS_SET_CHANGE, name, False,
+                  f"class {kind} by the update: the class table and JTOC "
+                  f"would change shape")
+    else:
+        _step(steps, RULE_NO_CLASS_SET_CHANGE, "*", True,
+              "no classes added or deleted")
+
+    totals = spec.totals()
+    method_set_ok = not spec.deleted_methods and not totals["methods_added"]
+    if method_set_ok:
+        _step(steps, RULE_NO_METHOD_SET_CHANGE, "*", True,
+              "no methods added or deleted")
+    else:
+        for key in sorted(spec.deleted_methods):
+            _step(steps, RULE_NO_METHOD_SET_CHANGE, format_method(key),
+                  False, "method deleted: an old frame could still call it")
+        if totals["methods_added"]:
+            _step(steps, RULE_NO_METHOD_SET_CHANGE, "*", False,
+                  f"{totals['methods_added']} method(s) added: old code "
+                  f"cannot see them, but their class records must be "
+                  f"rebuilt under a safe point")
+
+    if spec.category2():
+        for key in sorted(spec.category2()):
+            _step(steps, RULE_NO_CATEGORY2, format_method(key), False,
+                  "unchanged body bakes stale offsets of an updated class "
+                  "(category 2): needs recompilation at a safe point")
+    else:
+        _step(steps, RULE_NO_CATEGORY2, "*", True,
+              "no category-2 (baked-offset) methods")
+
+    if spec.blacklist:
+        for key in sorted(spec.blacklist):
+            _step(steps, RULE_NO_BLACKLIST, format_method(key), False,
+                  "blacklisted (category 3): the update spec demands this "
+                  "method be off-stack, which only a safe-point scan proves")
+    else:
+        _step(steps, RULE_NO_BLACKLIST, "*", True,
+              "no blacklisted (category-3) methods")
+
+    changed = sorted(spec.method_body_updates)
+    clinit_changes = [k for k in changed if k[1] == CLINIT_NAME]
+    if clinit_changes:
+        for key in clinit_changes:
+            _step(steps, RULE_NO_CLINIT_CHANGE, format_method(key), False,
+                  "static initializer body changed: it already ran and "
+                  "would silently never re-run under bypass")
+    else:
+        _step(steps, RULE_NO_CLINIT_CHANGE, "*", True,
+              "no static-initializer body changes")
+
+    if changed:
+        _step(steps, RULE_NONEMPTY, "*", True,
+              f"{len(changed)} changed method body/bodies to install")
+    else:
+        _step(steps, RULE_NONEMPTY, "*", False,
+              "no method body changes: nothing to bypass to")
+
+    # --- con-freeness over the old call graph -------------------------
+    # Only worth proving (and only provable) once the shape rules hold;
+    # still, run it whenever there are changed bodies so --explain shows
+    # the call-graph story even for mixed updates.
+    changed_set: Set[MethodKey] = set(changed)
+    if changed_set:
+        if graph is None:
+            program: Dict[str, ClassFile] = dict(compile_prelude())
+            program.update(old_classfiles)
+            graph = build_call_graph(program)
+        unresolved_callers = {u.caller for u in graph.unresolved}
+        for key in changed:
+            closure = graph.transitive_callees(key)
+            reached = sorted(closure & changed_set)
+            if key in closure:
+                reached = sorted(set(reached) | {key})
+            if reached:
+                _step(steps, RULE_CHANGED_REACHES_CHANGED,
+                      format_method(key), False,
+                      f"changed method can call changed method(s) "
+                      f"{', '.join(format_method(r) for r in reached)}: an "
+                      f"in-flight old frame would bind the new body "
+                      f"mid-flight")
+            else:
+                _step(steps, RULE_CHANGED_REACHES_CHANGED,
+                      format_method(key), True,
+                      "reaches no changed method in the old call graph: "
+                      "old frames finish entirely on old code")
+            bad = sorted((closure | {key}) & unresolved_callers)
+            if bad:
+                _step(steps, RULE_CLOSURE_RESOLVED, format_method(key),
+                      False,
+                      f"closure contains unresolved call site(s) in "
+                      f"{', '.join(format_method(b) for b in bad)}: the "
+                      f"con-freeness proof is incomplete")
+            else:
+                _step(steps, RULE_CLOSURE_RESOLVED, format_method(key),
+                      True, "every call site in the closure resolves")
+
+    return ConFreeVerdict(prepared.old_version, prepared.new_version, steps)

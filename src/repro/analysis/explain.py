@@ -8,7 +8,10 @@ answers it directly: given ``Class.method`` (optionally with a
 descriptor), it reports the category the method landed in, the
 minimizer's proof or non-proof, the per-site escape verdicts for
 category-2 candidates, and the inline chain for opt-tier hosts — or
-states that the method is unrestricted.
+states that the method is unrestricted. It also appends the
+con-freeness steps anchored to the method, so "why does this update
+need a safe point instead of the immediate bypass?" is answered in the
+same breath.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from ..dsu.specification import MethodKey
 from ..dsu.upt import PreparedUpdate
 from .callgraph import build_call_graph
 from .closure import RestrictionClosure, compute_closure
+from .confree import ConFreeVerdict, classify_update
 from .report import format_method
 from .semdiff import category2_sites, post_update_world
 
@@ -55,6 +59,7 @@ def _explain_one(
     program: Dict[str, ClassFile],
     prepared: PreparedUpdate,
     closure: RestrictionClosure,
+    confree: Optional[ConFreeVerdict] = None,
 ) -> List[str]:
     spec = prepared.spec
     reason = spec.minimization_reasons.get(key)
@@ -128,6 +133,16 @@ def _explain_one(
         add("NOT restricted: unchanged, bakes no offsets of updated "
             "classes, and inlines nothing restricted — the safe-point "
             "scan ignores it")
+
+    if confree is not None:
+        bc_steps = confree.steps_for(format_method(key))
+        add(f"con-freeness: the update as a whole is {confree.verdict}")
+        if bc_steps:
+            for step in bc_steps:
+                add(f"  {step}")
+        else:
+            add("  no con-freeness step anchors to this method "
+                "(only update-wide rules apply to it)")
     return lines
 
 
@@ -144,6 +159,7 @@ def explain_restriction(
     closure, _ = compute_closure(
         program, prepared.spec, graph, prepared.new_classfiles
     )
+    confree = classify_update(old_classfiles, prepared, graph)
     keys = match_method_keys(program, query)
     if not keys:
         return (
@@ -152,5 +168,5 @@ def explain_restriction(
         )
     lines: List[str] = []
     for key in keys:
-        lines.extend(_explain_one(key, program, prepared, closure))
+        lines.extend(_explain_one(key, program, prepared, closure, confree))
     return "\n".join(lines)

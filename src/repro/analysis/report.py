@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dsu.specification import MethodKey
 
@@ -104,6 +104,10 @@ class AnalysisReport:
     #: blacklist suggestions for never-returning restricted methods,
     #: ranked by call-graph depth (shallowest — longest-lived — first)
     blacklist_suggestions: List[MethodKey] = field(default_factory=list)
+    #: the con-freeness/backward-compatibility verdict
+    #: (:class:`repro.analysis.confree.ConFreeVerdict`): is this update
+    #: eligible for the engine's zero-pause immediate-bypass mode?
+    bc_verdict: Optional[Any] = None
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
@@ -151,6 +155,9 @@ class AnalysisReport:
             "old_version": self.old_version,
             "new_version": self.new_version,
             "predicted_abort": self.predicted_abort,
+            "bc_verdict": (
+                self.bc_verdict.to_dict() if self.bc_verdict else None
+            ),
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
             "predicted_restricted": sorted(
@@ -183,4 +190,10 @@ class AnalysisReport:
             lines.append(f"  verdict: update predicted to ABORT ({verdict})")
         else:
             lines.append("  verdict: no statically-detectable blocker")
+        if self.bc_verdict is not None:
+            failed = sorted({s.rule for s in self.bc_verdict.violations()})
+            suffix = f" (violated: {', '.join(failed)})" if failed else ""
+            lines.append(
+                f"  bc-verdict: {self.bc_verdict.verdict}{suffix}"
+            )
         return "\n".join(lines)

@@ -32,9 +32,9 @@ Observability rides along: every ``submit`` emits a phase-attributed span
 tree on ``vm.tracer`` and counters/histograms on ``vm.metrics``; export
 them with :func:`write_chrome_trace` / :meth:`~repro.obs.Metrics.snapshot`.
 
-``UpdateEngine.request_update(...)`` is the legacy positional-argument
-entry point; it survives as a deprecated shim that builds an
-:class:`UpdateRequest` and forwards to :meth:`~UpdateEngine.submit`.
+:class:`UpdateRequest`/:meth:`~UpdateEngine.submit` is the only entry
+point — the legacy ``request_update`` keyword-argument shim has been
+removed.
 """
 
 from __future__ import annotations

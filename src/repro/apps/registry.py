@@ -112,6 +112,30 @@ def statically_predicted_abort(app: str, from_version: str, to_version: str) -> 
     return (app, from_version, to_version) in STATIC_PREDICTED_ABORTS
 
 
+#: Updates the con-freeness analyzer classifies ``bypass-eligible``: every
+#: change is a body-only edit to an existing method, no changed method is
+#: reachable from another changed method in the old call graph, and every
+#: call site in the changed methods' closures resolves. These seven apply
+#: through the zero-pause immediate-bypass path (no safe point, no update
+#: GC); the remaining fifteen require a safe point. The CI lint gate and
+#: ``tests/test_confree.py`` assert this set exactly.
+EXPECTED_BYPASS_ELIGIBLE: FrozenSet[Tuple[str, str, str]] = frozenset(
+    {
+        ("jetty", "5.1.0", "5.1.1"),
+        ("jetty", "5.1.7", "5.1.8"),
+        ("jetty", "5.1.8", "5.1.9"),
+        ("jetty", "5.1.9", "5.1.10"),
+        ("javaemail", "1.2.1", "1.2.2"),
+        ("javaemail", "1.2.3", "1.2.4"),
+        ("javaemail", "1.3", "1.3.1"),
+    }
+)
+
+
+def expected_bypass_eligible(app: str, from_version: str, to_version: str) -> bool:
+    return (app, from_version, to_version) in EXPECTED_BYPASS_ELIGIBLE
+
+
 def expected_outcome(app: str, from_version: str, to_version: str) -> Optional[ExpectedOutcome]:
     for outcome in EXPECTED_OUTCOMES:
         if (outcome.app, outcome.from_version, outcome.to_version) == (

@@ -134,7 +134,8 @@ def cmd_update(args) -> int:
     except ValueError as bad:
         print(f"error: {bad}", file=sys.stderr)
         return 2
-    request = UpdateRequest(prepared, policy=policy, lint=args.dsu_lint)
+    request = UpdateRequest(prepared, policy=policy, lint=args.dsu_lint,
+                            bypass=args.bypass)
     vm.events.schedule(args.at, lambda: engine.submit(request))
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
     if args.trace_out:
@@ -152,6 +153,9 @@ def cmd_update(args) -> int:
     if result.succeeded:
         detail = (f" (pause {result.total_pause_ms:.2f} sim-ms, "
                   f"{result.objects_transformed} objects transformed)")
+        if result.bypassed:
+            detail += (f" [immediate bypass, "
+                       f"{result.bypass_stale_frames} stale frame(s)]")
     else:
         detail = (f" [phase={result.failed_phase} code={result.reason_code}"
                   f" rolled_back={result.rolled_back}"
@@ -215,6 +219,22 @@ def cmd_fleet(args) -> int:
     return fleet_main(forwarded)
 
 
+def cmd_endurance(args) -> int:
+    """One long-lived server per app survives its full update stream
+    under continuous traffic; bypass-eligible updates must be invisible."""
+    from .harness.endurance import main as endurance_main
+
+    forwarded: List[str] = [
+        "--out", args.out,
+        "--timeout-ms", str(args.timeout_ms),
+    ]
+    if args.app is not None:
+        forwarded += ["--app", args.app]
+    if args.check:
+        forwarded.append("--check")
+    return endurance_main(forwarded)
+
+
 def _lint_superset_gate(boot_info, prepared, report):
     """Runtime check of the analyzer's central soundness claim: boot the
     old version, adversarially opt-compile *everything* (so every
@@ -260,6 +280,7 @@ def cmd_dsu_lint(args) -> int:
         from .apps.registry import (
             APPS,
             STATIC_PREDICTED_ABORTS,
+            expected_bypass_eligible,
             update_pairs,
         )
         from .harness.updates import AppDriver
@@ -379,6 +400,14 @@ def cmd_dsu_lint(args) -> int:
         print(json_module.dumps(
             payload[0] if len(payload) == 1 else payload, indent=2
         ))
+    elif args.bc_verdict:
+        for label, report, _ in reports:
+            if len(reports) > 1:
+                print(f"== {label}")
+            if report.bc_verdict is not None:
+                print(report.bc_verdict.render())
+            else:
+                print("bc-verdict: unavailable (analysis did not run)")
     else:
         for label, report, _ in reports:
             print(f"== {label}")
@@ -402,6 +431,28 @@ def cmd_dsu_lint(args) -> int:
                 failures.append(
                     f"{label}: expected a statically predicted abort, "
                     f"but the analyzer reports no errors"
+                )
+        # The con-freeness verdicts must also match the registry: exactly
+        # the recorded pairs classify bypass-eligible, nothing else.
+        for (label, _, _, _, boot_info), (_, report, _) in zip(
+            targets, reports
+        ):
+            if boot_info is None or report.bc_verdict is None:
+                continue
+            expected_bc = expected_bypass_eligible(*boot_info)
+            if report.bc_verdict.eligible and not expected_bc:
+                failures.append(
+                    f"{label}: classified bypass-eligible, but the "
+                    f"registry does not record it as such"
+                )
+            elif expected_bc and not report.bc_verdict.eligible:
+                violated = ", ".join(
+                    sorted({s.rule for s in report.bc_verdict.violations()})
+                )
+                failures.append(
+                    f"{label}: expected bypass-eligible, but the "
+                    f"con-freeness analyzer reports requires-safepoint "
+                    f"(violated: {violated})"
                 )
         for failure in failures:
             print(f"[check-expected] {failure}", file=sys.stderr)
@@ -478,6 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the static update-safety analyzer before "
                              "signalling the VM; 'strict' refuses updates "
                              "with error-severity diagnostics up front")
+    update.add_argument("--bypass", choices=("off", "auto", "require"),
+                        default="off",
+                        help="immediate-bypass mode: 'auto' lets "
+                             "bypass-eligible (con-free, method-body-only) "
+                             "updates install with zero pause and no safe "
+                             "point; 'require' aborts instead of falling "
+                             "back to the safe-point path")
     update.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write the run's span tree as Chrome "
                              "trace_event JSON (Perfetto-loadable)")
@@ -528,10 +586,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--to-version", default=None)
     lint.add_argument("--json", action="store_true",
                       help="machine-readable report (for the CI gate)")
+    lint.add_argument("--bc-verdict", action="store_true",
+                      help="print only the con-freeness verdict and its "
+                           "full explanation chain: is this update eligible "
+                           "for the zero-pause immediate bypass?")
     lint.add_argument("--check-expected", action="store_true",
                       help="CI mode: fail unless error diagnostics appear on "
                            "exactly the updates the registry records as "
-                           "statically predicted aborts")
+                           "statically predicted aborts, and the "
+                           "con-freeness verdicts match the registry's "
+                           "bypass-eligible set exactly")
     lint.add_argument("--explain", metavar="CLASS.METHOD", default=None,
                       help="explain why one method is (or is not) in the "
                            "restricted set: category, semantic-diff proof, "
@@ -572,6 +636,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "unexpected rollout outcome, or a mishandled "
                             "fault scenario")
     fleet.set_defaults(fn=cmd_fleet)
+
+    endurance = sub.add_parser(
+        "endurance",
+        help="apply each app's full update stream to one long-lived "
+             "server under continuous traffic; bypass-eligible updates "
+             "must show a 0.00 ms pause and zero safe-point rounds "
+             "(writes BENCH_endurance.json)",
+    )
+    endurance.add_argument("--app", default=None,
+                           help="run one app only (jetty, javaemail, "
+                                "crossftp; default: all)")
+    endurance.add_argument("--out", default="BENCH_endurance.json",
+                           help="where to write the JSON artifact")
+    endurance.add_argument("--timeout-ms", type=float, default=1_000.0,
+                           help="per-round safe-point window for "
+                                "non-bypass updates (simulated ms)")
+    endurance.add_argument("--check", action="store_true",
+                           help="exit non-zero on a nonzero bypass pause, "
+                                "any bypass safe-point round, a bypass set "
+                                "differing from the registry, or a "
+                                "traffic protocol mismatch")
+    endurance.set_defaults(fn=cmd_endurance)
     return parser
 
 

@@ -19,8 +19,6 @@ Coordinates the whole dynamic update (paper §3):
 
 from __future__ import annotations
 
-import warnings
-
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
@@ -34,7 +32,6 @@ from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
 from ..vm.rvmclass import RVMClass
 from .faults import FaultInjector, InjectedFault, VMCrash
 from .safepoint import (
-    DEFAULT_TIMEOUT_MS,
     RestrictedSets,
     RetryPolicy,
     StackScan,
@@ -55,13 +52,14 @@ from .specification import (
     REASON_HEAP_PREFLIGHT,
     REASON_INTERNAL_ERROR,
     REASON_LINT_REJECTED,
+    REASON_NOT_CON_FREE,
     REASON_OOM,
     REASON_OSR_FAILED,
     REASON_TIMEOUT,
     REASON_TRANSFORMER_CYCLE,
     REASON_TRANSFORMER_ERROR,
 )
-from .transaction import UpdateTransaction
+from .transaction import SCOPE_CODE_ONLY, UpdateTransaction
 from .upt import TRANSFORMERS_CLASS, PreparedUpdate
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -168,12 +166,23 @@ class UpdateResult:
     #: (the §3.5 extended-OSR extension)
     extended_osr_frames: int = 0
     blockers_seen: Set[str] = field(default_factory=set)
-    #: ``dsu-lint`` pre-flight summary, when ``request_update(lint=...)``
-    #: ran the analyzer: error/warning counts and the predicted
+    #: ``dsu-lint`` pre-flight summary, when ``UpdateRequest.lint`` ran
+    #: the analyzer: error/warning counts and the predicted
     #: ``"phase/reason"`` abort attribution ("" = predicted to land)
     lint_errors: int = 0
     lint_warnings: int = 0
     lint_predicted_abort: str = ""
+    #: True when the update applied via the zero-pause immediate-bypass
+    #: mode: new bodies installed under version tagging, no safe-point
+    #: acquisition, no suspension, no update GC
+    bypassed: bool = False
+    #: in-flight frames still executing old-version code the moment the
+    #: bypass install finished (they drain naturally; see the
+    #: ``dsu.bypass.drained`` trace instant)
+    bypass_stale_frames: int = 0
+    #: the static con-freeness verdict string ("bypass-eligible" /
+    #: "requires-safepoint") when ``UpdateRequest.bypass`` was consulted
+    bc_verdict: str = ""
     #: pause breakdown in simulated ms: suspend/classload/osr/gc/transform
     phase_ms: Dict[str, float] = field(default_factory=dict)
     objects_transformed: int = 0
@@ -224,6 +233,12 @@ class UpdateRequest:
     policy: RetryPolicy = field(default_factory=RetryPolicy)
     #: ``"off"`` | ``"warn"`` | ``"strict"`` — the dsu-lint pre-flight mode
     lint: str = "off"
+    #: ``"off"`` | ``"auto"`` | ``"require"`` — the immediate-bypass mode.
+    #: ``auto`` runs the con-freeness classifier and applies the update
+    #: with zero pause when it is bypass-eligible, falling back to the
+    #: safe-point path otherwise; ``require`` aborts up front instead of
+    #: falling back (reason ``not-con-free``).
+    bypass: str = "off"
     #: optional tracer override: when set, the VM's tracer is replaced so
     #: the whole update (and everything the VM does around it) lands in
     #: this trace instead of the default per-VM one
@@ -239,6 +254,8 @@ class UpdateRequest:
     def __post_init__(self):
         if self.lint not in ("off", "warn", "strict"):
             raise ValueError(f"unknown lint mode {self.lint!r}")
+        if self.bypass not in ("off", "auto", "require"):
+            raise ValueError(f"unknown bypass mode {self.bypass!r}")
 
 
 class _ActiveUpdate:
@@ -294,36 +311,15 @@ class UpdateEngine:
         self.history: List[UpdateResult] = []
         self._transform_in_progress: Set[int] = set()
         self._old_copy_of: Dict[int, int] = {}
+        #: old-version frames still in flight after the latest bypass
+        #: install; decremented by the interpreter's retirement hook
+        self._bypass_stale_outstanding = 0
         vm.on_world_stopped = self._world_stopped
         vm.return_barrier_hook = self._barrier_hit
+        vm.stale_frame_retired_hook = self._stale_frame_retired
 
     # ------------------------------------------------------------------
     # public API
-
-    def request_update(
-        self,
-        prepared: PreparedUpdate,
-        timeout_ms: float = DEFAULT_TIMEOUT_MS,
-        retries: int = 0,
-        backoff: float = 2.0,
-        policy: Optional[RetryPolicy] = None,
-        lint: str = "off",
-    ) -> UpdateResult:
-        """Deprecated kwargs-style shim over :meth:`submit`.
-
-        Build an :class:`UpdateRequest` (the :mod:`repro.api` facade) and
-        call ``submit(request)`` instead; this wrapper only repackages the
-        sprawl of keyword arguments into that object.
-        """
-        warnings.warn(
-            "UpdateEngine.request_update(...) is deprecated; build a "
-            "repro.api.UpdateRequest and call UpdateEngine.submit(request)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if policy is None:
-            policy = RetryPolicy(timeout_ms, retries, backoff)
-        return self.submit(UpdateRequest(prepared, policy=policy, lint=lint))
 
     def submit(self, request: UpdateRequest) -> UpdateResult:
         """Signal the VM that an update is available (paper step 2). The
@@ -339,6 +335,15 @@ class UpdateEngine:
         update with error-severity diagnostics up front — an immediate,
         attributable pre-flight abort instead of spending the whole
         retry/backoff budget discovering the same blocker at runtime.
+
+        ``request.bypass`` consults the con-freeness classifier
+        (:mod:`repro.analysis.confree`): a ``bypass-eligible`` update is
+        applied *right here*, synchronously, with zero pause — no
+        safe-point acquisition, no suspension, no update GC — by
+        installing the new method bodies under version tagging
+        (:meth:`~repro.vm.machinecode.MethodEntry.replace_bytecode`).
+        In-flight frames finish on the old code; every new invocation
+        binds the new body.
 
         The whole attempt is traced: a top-level ``dsu.update`` span opens
         here and closes when the update lands or aborts, with one child
@@ -383,6 +388,35 @@ class UpdateEngine:
                 tracer.end(update_span, status=ABORTED,
                            reason=REASON_LINT_REJECTED)
                 return result
+        if request.bypass != "off":
+            from ..analysis import classify_update
+
+            with tracer.span("dsu.preflight.confree", "dsu",
+                             mode=request.bypass):
+                verdict = classify_update(dict(vm.classfiles), prepared)
+            result.bc_verdict = verdict.verdict
+            if verdict.eligible:
+                return self._apply_bypass(request, result, verdict,
+                                          update_span)
+            violated = sorted({s.rule for s in verdict.violations()})
+            if request.bypass == "require":
+                first = verdict.violations()[0]
+                result.status = ABORTED
+                result.failed_phase = PHASE_PREFLIGHT
+                result.reason_code = REASON_NOT_CON_FREE
+                result.reason = (
+                    f"bypass required but the update is not con-free "
+                    f"(violated: {', '.join(violated)}); first: {first}"
+                )
+                result.finished_at_ms = vm.clock.now_ms
+                self.history.append(result)
+                vm.metrics.inc("dsu.updates_aborted")
+                tracer.end(update_span, status=ABORTED,
+                           reason=REASON_NOT_CON_FREE)
+                return result
+            # "auto": fall through to the ordinary safe-point protocol.
+            tracer.instant("dsu.bypass.ineligible", "dsu",
+                           violated=violated)
         with tracer.span("dsu.resolve-restricted", "dsu") as resolve_span:
             sets = resolve_restricted(vm, prepared.spec)
             resolve_span.args.update(
@@ -436,7 +470,129 @@ class UpdateEngine:
         result.transaction = None
         self.vm.gc_disabled = False
         self.vm.update_pending = False
+        # Frames now running the rolled-back-from version drain on their
+        # own; the outstanding count from the apply no longer means
+        # anything.
+        self._bypass_stale_outstanding = 0
         self.vm.metrics.inc("dsu.canary_rollbacks")
+
+    # ------------------------------------------------------------------
+    # the immediate-bypass path (zero pause, no safe point)
+
+    def _apply_bypass(self, request: UpdateRequest, result: UpdateResult,
+                      verdict, update_span) -> UpdateResult:
+        """Apply a bypass-eligible update synchronously, with zero pause.
+
+        No safe-point acquisition, no thread suspension, no OSR, no update
+        GC: the con-freeness verdict proved the update is method-body-only
+        and that no in-flight old frame can bind a new body mid-flight, so
+        the new bodies are installed under version tagging while the
+        application keeps running. Old frames finish on their old
+        :class:`~repro.vm.machinecode.CompiledMethod` (frames hold the
+        code object, not the entry); every new invocation recompiles from
+        the entry's new bytecode. The simulated clock is never ticked —
+        the suspension pause is literally 0.00 ms."""
+        vm = self.vm
+        tracer = vm.tracer
+        prepared = request.prepared
+        changed = sorted(prepared.spec.method_body_updates)
+        changed_set = set(changed)
+        self.history.append(result)
+        txn = UpdateTransaction(vm, scope=SCOPE_CODE_ONLY)
+        stale = 0
+        try:
+            with tracer.span("dsu.bypass.install", "dsu",
+                             methods=len(changed)) as install_span:
+                # Publish the whole new program first: the JIT's verifier
+                # and the opt tier's inliner read bodies from
+                # vm.classfiles, so recompiles of unchanged callers must
+                # already see the new program.
+                for name, classfile in prepared.new_classfiles.items():
+                    vm.classfiles[name] = classfile
+                    rvmclass = vm.registry.maybe_get(name)
+                    if rvmclass is not None and not rvmclass.obsolete:
+                        rvmclass.classfile = classfile
+                for class_name, method_name, descriptor in changed:
+                    entry = vm.methods.lookup(
+                        class_name, method_name, descriptor
+                    )
+                    new_info = prepared.new_classfiles[class_name].get_method(
+                        method_name, descriptor
+                    )
+                    if entry is None or new_info is None:
+                        raise ClassLoadError(
+                            f"bypass install: no live method entry for "
+                            f"{class_name}.{method_name}{descriptor}"
+                        )
+                    entry.replace_bytecode(new_info)
+                # Opt code of unchanged methods that inlined a replaced
+                # body is stale: drop the code pointer (free at update
+                # time); the next invocation recompiles lazily against
+                # the new program.
+                for entry in vm.methods.all_entries():
+                    opt = entry.opt_code
+                    if opt is not None and opt.inlined & changed_set:
+                        entry.invalidate()
+                for thread in vm.threads:
+                    for frame in thread.frames:
+                        code_entry = frame.code.entry
+                        if (
+                            frame.entered_at_version
+                            != code_entry.bytecode_version
+                        ):
+                            stale += 1
+                install_span.args["stale_frames"] = stale
+        except VMCrash:
+            raise
+        except Exception as failure:  # noqa: BLE001 — every failure aborts
+            phase, reason_code, message = _classify_failure(
+                PHASE_CLASSLOAD, failure
+            )
+            with tracer.span("dsu.rollback", "dsu", failed_phase=phase,
+                             reason=reason_code):
+                txn.rollback()
+            vm.metrics.inc("dsu.rollbacks")
+            result.status = ABORTED
+            result.reason = message
+            result.failed_phase = phase
+            result.reason_code = reason_code
+            result.rolled_back = True
+            result.finished_at_ms = vm.clock.now_ms
+            vm.metrics.inc("dsu.updates_aborted")
+            tracer.end(update_span, status=ABORTED, reason=reason_code,
+                       bypassed=False)
+            return result
+        self._bypass_stale_outstanding = stale
+        result.bypassed = True
+        result.bypass_stale_frames = stale
+        result.status = APPLIED
+        result.finished_at_ms = vm.clock.now_ms
+        if request.hold_transaction:
+            # Unlike the safe-point path, the code-only snapshot holds no
+            # heap addresses, so ordinary GC keeps running while the
+            # verification window is open.
+            result.transaction = txn
+            vm.metrics.inc("dsu.held_transactions")
+        tracer.end(update_span, status=APPLIED, bypassed=True,
+                   pause_ms=0.0, stale_frames=stale)
+        vm.metrics.inc("dsu.updates_applied")
+        vm.metrics.inc("dsu.updates_bypassed")
+        vm.metrics.observe("dsu.pause_ms", 0.0)
+        vm.metrics.observe("dsu.safepoint_wait_ms", 0.0)
+        vm.metrics.observe("dsu.bypass_stale_frames", stale)
+        return result
+
+    def _stale_frame_retired(self, thread, frame) -> None:
+        """Interpreter callback: a frame whose method body was replaced
+        underneath it (version-tagged dispatch) finished on the old code
+        and popped."""
+        if self._bypass_stale_outstanding <= 0:
+            return
+        self._bypass_stale_outstanding -= 1
+        vm = self.vm
+        vm.metrics.inc("dsu.bypass_stale_frames_retired")
+        if self._bypass_stale_outstanding == 0:
+            vm.tracer.instant("dsu.bypass.drained", "dsu")
 
     # ------------------------------------------------------------------
     # world-stop protocol

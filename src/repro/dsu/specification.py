@@ -43,6 +43,8 @@ UPDATE_PHASES = (
 )
 
 REASON_LINT_REJECTED = "lint-rejected"          # strict dsu-lint pre-flight
+REASON_NOT_CON_FREE = "not-con-free"            # bypass demanded, verdict
+                                                # says requires-safepoint
 REASON_TIMEOUT = "timeout"                      # no safe point in the window
 REASON_BLACKLISTED = "blacklisted"              # category-3 method never left
 REASON_OSR_FAILED = "osr-failed"                # un-replaceable active frame
@@ -57,6 +59,7 @@ REASON_INTERNAL_ERROR = "internal-error"        # unexpected engine exception
 
 ABORT_REASONS = (
     REASON_LINT_REJECTED,
+    REASON_NOT_CON_FREE,
     REASON_TIMEOUT,
     REASON_BLACKLISTED,
     REASON_OSR_FAILED,

@@ -46,6 +46,14 @@ from ..vm.rvmclass import RVMClass
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.vm import VM
 
+#: snapshot everything an ordinary safe-point update mutates
+SCOPE_FULL = "full"
+#: snapshot only code metadata (class files, class records, method
+#: entries) — the immediate-bypass path never touches frames, the JTOC,
+#: or the heap, so its transaction carries no heap addresses at all and
+#: ordinary GC may keep running while the snapshot is held
+SCOPE_CODE_ONLY = "code-only"
+
 
 class _ClassRecord:
     """Mutable per-class state the installer touches."""
@@ -132,8 +140,11 @@ class UpdateTransaction:
     """Snapshot of everything an update mutates, taken at the DSU safe
     point with the world stopped, plus the inverse operation."""
 
-    def __init__(self, vm: "VM"):
+    def __init__(self, vm: "VM", scope: str = SCOPE_FULL):
+        if scope not in (SCOPE_FULL, SCOPE_CODE_ONLY):
+            raise ValueError(f"unknown transaction scope {scope!r}")
         self.vm = vm
+        self.scope = scope
         self.rolled_back = False
         #: set (via :meth:`note_gc_started`) once the update collection has
         #: begun writing forwarding pointers; rollback must then scrub them
@@ -147,6 +158,15 @@ class UpdateTransaction:
         self.entries_len = len(vm.methods.entries)
         self.methods_by_key = dict(vm.methods._by_key)
         self.entry_records = [_EntryRecord(e) for e in vm.methods.entries]
+
+        if scope == SCOPE_CODE_ONLY:
+            # The immediate-bypass path replaces method bodies and class
+            # file pointers and nothing else: frames keep running (old
+            # frames finish on old code by design — rolling them back
+            # would rewind the application), and the heap, JTOC and other
+            # roots are never written. Snapshotting them would also pin
+            # heap addresses, forcing GC off for held bypass snapshots.
+            return
 
         # --- roots ----------------------------------------------------
         self.jtoc_len = len(vm.jtoc.cells)
@@ -202,6 +222,12 @@ class UpdateTransaction:
         vm.methods._by_key.update(self.methods_by_key)
         vm.classfiles.clear()
         vm.classfiles.update(self.classfiles)
+
+        if self.scope == SCOPE_CODE_ONLY:
+            # Code metadata restored (bodies, version tags, class file
+            # pointers); frames, roots and the heap were never touched.
+            self.rolled_back = True
+            return
 
         # Roots.
         del vm.jtoc.cells[self.jtoc_len:]

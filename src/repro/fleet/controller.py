@@ -319,7 +319,9 @@ class FleetController:
 
     def transition_p99_ms(self) -> float:
         histogram = self.metrics.histograms.get("fleet.transition_latency_ms")
-        return histogram.percentile(0.99) if histogram is not None else 0.0
+        if histogram is None or not histogram.samples:
+            return 0.0
+        return histogram.percentile(0.99)
 
     # ------------------------------------------------------------------
     # rolling update

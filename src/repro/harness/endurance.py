@@ -1,0 +1,342 @@
+"""Endurance run: one long-lived server survives its whole update stream.
+
+The experience sweep and the pause sweep boot a *fresh* VM per update;
+this harness answers the operational question they cannot: what does a
+single server look like after its entire release history is applied
+dynamically, in order, under continuous client traffic?  For each
+bundled application one VM boots the oldest version and every
+consecutive update is submitted against it in sequence with
+``bypass="auto"``, so the con-free, method-body-only releases take the
+zero-pause immediate-bypass path while the rest acquire a safe point.
+
+Per transition the harness records the apply mode (``bypass`` /
+``safepoint``), the suspension pause, the safe-point rounds used, and
+the latency percentiles of the client sessions that overlapped the
+transition — the numbers that show bypass updates are invisible to
+traffic (0.00 ms pause, zero rounds) while safe-point updates pay their
+documented pause.
+
+The two §4 aborts (Jetty 5.1.2→5.1.3, JavaEmailServer 1.2.4→1.3) abort
+here too — their changed methods never leave the stack, so no safe
+point exists.  An operator faced with that verdict restarts into the new
+version; the harness does the same (a fresh VM boots the target
+version, flagged ``restarted`` on the row) so the stream continues on
+the registry's release ladder and the later bypass-eligible updates are
+measured against their true predecessors.
+
+Artifacts: ``BENCH_endurance.json`` (one row per transition; the CI
+endurance-smoke job uploads it) and a human table via
+:func:`render_endurance_table`.  ``--check`` turns the invariants into
+a gate: every bypass row must show a 0.00 ms pause and zero safe-point
+rounds, exactly the registry's bypass-eligible pairs may take the
+bypass path, and no transition may lose a client session to a protocol
+mismatch (the traffic must never observe a half-installed update).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+from ..apps.registry import APPS, expected_bypass_eligible, update_pairs
+from ..net.httpclient import HttpConnectionClient
+from ..net.ftpclient import browse_script
+from ..net.loadgen import FAILURE_PROTOCOL, ScriptedSession
+from ..net.popclient import stat_script
+from ..net.smtpclient import send_mail_script
+from ..obs.metrics import Histogram
+from .updates import AppDriver
+
+#: traffic shape around each transition (simulated ms)
+_SESSION_INTERVAL_MS = 90.0
+_REQUEST_LEAD_MS = 300.0
+_WINDOW_MS = 1_200.0
+_SETTLE_MS = 3_300.0
+
+
+@dataclass
+class TransitionRow:
+    """One dynamic update applied to the long-lived server."""
+
+    app: str
+    from_version: str
+    to_version: str
+    status: str
+    #: how the update went through: ``bypass`` (immediate, no safe point)
+    #: or ``safepoint`` (classic suspend-and-update)
+    mode: str
+    #: the static con-freeness verdict recorded by the engine
+    bc_verdict: str
+    pause_ms: float
+    #: safe-point acquisition rounds used (0 for bypass: none acquired)
+    safepoint_rounds: int
+    #: in-flight frames still on the old code at bypass-install time
+    stale_frames: int
+    objects_transformed: int
+    #: abort attribution (``""`` when applied)
+    abort_why: str = ""
+    #: True when the abort forced an operator-style restart onto
+    #: ``to_version`` (fresh VM) so the stream could continue
+    restarted: bool = False
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    #: failure kinds of the failed sessions (protocol mismatches gate CI)
+    session_failure_kinds: List[str] = field(default_factory=list)
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_samples: int = 0
+
+    def problems(self) -> List[str]:
+        """The invariants the CI endurance-smoke job enforces."""
+        problems = []
+        expected = expected_bypass_eligible(
+            self.app, self.from_version, self.to_version
+        )
+        if self.mode == "bypass":
+            if self.pause_ms != 0.0:
+                problems.append(
+                    f"bypass update reports a {self.pause_ms:.6f} ms pause "
+                    f"(must be exactly 0.0)"
+                )
+            if self.safepoint_rounds != 0:
+                problems.append(
+                    f"bypass update used {self.safepoint_rounds} safe-point "
+                    f"round(s) (must be 0)"
+                )
+            if not expected:
+                problems.append(
+                    "took the bypass path, but the registry does not record "
+                    "this pair as bypass-eligible"
+                )
+        elif expected:
+            problems.append(
+                f"registry records this pair bypass-eligible, but it went "
+                f"through as {self.mode}/{self.status}"
+            )
+        if FAILURE_PROTOCOL in self.session_failure_kinds:
+            problems.append(
+                "a client session hit a protocol mismatch during the "
+                "transition (traffic observed a half-installed update)"
+            )
+        return problems
+
+
+def _spawn_transition_traffic(driver: AppDriver, app: str,
+                              start_ms: float) -> list:
+    """Continuous client sessions covering one transition window."""
+    info = APPS[app]
+    sessions = []
+    at = start_ms
+    index = 0
+    while at < start_ms + _WINDOW_MS:
+        if app == "jetty":
+            sessions.append(HttpConnectionClient(
+                driver.vm, info.port, "/file.bin", num_requests=3,
+            ).start(at))
+        elif app == "javaemail":
+            from ..apps.javaemail.versions import POP3_PORT, SMTP_PORT
+
+            if index % 2 == 0:
+                sessions.append(ScriptedSession(
+                    driver.vm, SMTP_PORT,
+                    send_mail_script("bob@example.org", "alice@example.org",
+                                     [f"endurance ping {index}"]),
+                    name=f"endurance-smtp-{index}",
+                ).start(at))
+            else:
+                sessions.append(ScriptedSession(
+                    driver.vm, POP3_PORT, stat_script("alice", "apass"),
+                    name=f"endurance-pop3-{index}",
+                ).start(at))
+        elif app == "crossftp":
+            sessions.append(ScriptedSession(
+                driver.vm, info.port, browse_script(),
+                name=f"endurance-ftp-{index}",
+            ).start(at))
+        else:  # pragma: no cover - registry is closed
+            raise ValueError(f"unknown app {app!r}")
+        at += _SESSION_INTERVAL_MS
+        index += 1
+    return sessions
+
+
+def _latencies(sessions) -> List[float]:
+    values: List[float] = []
+    for session in sessions:
+        per_request = getattr(session, "latencies_ms", None)
+        if per_request:
+            values.extend(per_request)
+            continue
+        duration = getattr(session, "duration_ms", None)
+        if duration is not None:
+            values.append(duration)
+    return values
+
+
+def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
+    """Walk one application's full update stream on a single server."""
+    info = APPS[app]
+
+    def fresh(version: str) -> AppDriver:
+        driver = AppDriver(
+            app, info.versions, info.main_class,
+            transformer_overrides=info.transformer_overrides,
+        )
+        driver.boot(version)
+        return driver
+
+    pairs = update_pairs(app)
+    driver = fresh(pairs[0][0])
+    rows: List[TransitionRow] = []
+    for from_version, to_version in pairs:
+        assert driver.current_version == from_version
+        now = driver.vm.clock.now_ms
+        sessions = _spawn_transition_traffic(driver, app, now + 40.0)
+        holder = driver.request_update_at(
+            now + _REQUEST_LEAD_MS, to_version, timeout_ms, bypass="auto",
+        )
+        driver.run(until_ms=now + _WINDOW_MS + _SETTLE_MS)
+        result = holder["result"]
+        driver.note_version_if_applied(holder, to_version)
+
+        latency = Histogram(f"endurance.{app}.latency")
+        for value in _latencies(sessions):
+            latency.observe(value)
+        failed = [s for s in sessions
+                  if getattr(s, "done", False) and getattr(s, "failed", None)]
+        row = TransitionRow(
+            app=app,
+            from_version=from_version,
+            to_version=to_version,
+            status=result.status,
+            mode="bypass" if result.bypassed else "safepoint",
+            bc_verdict=result.bc_verdict,
+            pause_ms=result.total_pause_ms if result.succeeded else 0.0,
+            safepoint_rounds=(0 if result.bypassed
+                              else result.retry_rounds + 1),
+            stale_frames=result.bypass_stale_frames,
+            objects_transformed=result.objects_transformed,
+            abort_why=("" if result.succeeded else
+                       f"{result.failed_phase}/{result.reason_code}"),
+            sessions_completed=sum(
+                1 for s in sessions if getattr(s, "succeeded", False)
+            ),
+            sessions_failed=len(failed),
+            session_failure_kinds=sorted(
+                {s.failed.kind for s in failed if s.failed is not None}
+            ),
+            latency_p50_ms=(round(latency.percentile(0.50), 3)
+                            if latency.samples else 0.0),
+            latency_p95_ms=(round(latency.percentile(0.95), 3)
+                            if latency.samples else 0.0),
+            latency_p99_ms=(round(latency.percentile(0.99), 3)
+                            if latency.samples else 0.0),
+            latency_samples=len(latency.samples),
+        )
+        if not result.succeeded:
+            # The operator's move after a genuine abort: restart onto the
+            # target release so the stream stays on the registry ladder.
+            driver = fresh(to_version)
+            row.restarted = True
+        rows.append(row)
+    return rows
+
+
+def run_endurance_sweep(timeout_ms: float = 1_000.0) -> List[TransitionRow]:
+    """Every application's endurance run, concatenated."""
+    rows: List[TransitionRow] = []
+    for app in APPS:
+        rows.extend(run_endurance(app, timeout_ms=timeout_ms))
+    return rows
+
+
+def render_endurance_table(rows: List[TransitionRow]) -> str:
+    bypassed = sum(1 for r in rows if r.mode == "bypass")
+    applied = sum(1 for r in rows if r.status == "applied")
+    lines = [
+        f"Endurance: {applied} of {len(rows)} transitions applied on "
+        f"long-lived servers, {bypassed} via zero-pause immediate bypass",
+        f"{'app':>10s} {'update':>16s} {'outcome':>8s} {'mode':>9s} "
+        f"{'pause(ms)':>10s} {'rounds':>6s} {'stale':>5s} "
+        f"{'p50':>8s} {'p95':>8s} {'p99':>8s} {'sess':>5s}  notes",
+    ]
+    for row in rows:
+        update = f"{row.from_version}->{row.to_version}"
+        pause = f"{row.pause_ms:.2f}" if row.status == "applied" else "-"
+        notes = row.abort_why
+        if row.restarted:
+            notes += " [restarted]"
+        lines.append(
+            f"{row.app:>10s} {update:>16s} {row.status:>8s} {row.mode:>9s} "
+            f"{pause:>10s} {row.safepoint_rounds:>6d} {row.stale_frames:>5d} "
+            f"{row.latency_p50_ms:>8.2f} {row.latency_p95_ms:>8.2f} "
+            f"{row.latency_p99_ms:>8.2f} {row.sessions_completed:>5d}  "
+            f"{notes}"
+        )
+    return "\n".join(lines)
+
+
+def endurance_report(rows: List[TransitionRow]) -> dict:
+    """The ``BENCH_endurance.json`` payload."""
+    return {
+        "benchmark": "endurance",
+        "clock": "simulated",
+        "transitions": [asdict(row) for row in rows],
+        "bypassed": sum(1 for row in rows if row.mode == "bypass"),
+        "problems": {
+            f"{row.app} {row.from_version}->{row.to_version}": problems
+            for row in rows
+            if (problems := row.problems())
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.endurance",
+        description="apply each app's full update stream to one "
+                    "long-lived server under continuous traffic",
+    )
+    parser.add_argument("--app", default=None,
+                        help="run one app only (default: all)")
+    parser.add_argument("--out", default="BENCH_endurance.json",
+                        help="where to write the JSON artifact")
+    parser.add_argument("--timeout-ms", type=float, default=1_000.0,
+                        help="per-round DSU safe-point window for "
+                             "non-bypass updates (simulated ms)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if a bypass transition reports "
+                             "a nonzero pause or any safe-point round, the "
+                             "bypass set differs from the registry's, or "
+                             "traffic hit a protocol mismatch")
+    args = parser.parse_args(argv)
+
+    if args.app is not None:
+        if args.app not in APPS:
+            print(f"unknown app {args.app!r} "
+                  f"(have: {', '.join(sorted(APPS))})", file=sys.stderr)
+            return 2
+        rows = run_endurance(args.app, timeout_ms=args.timeout_ms)
+    else:
+        rows = run_endurance_sweep(timeout_ms=args.timeout_ms)
+    print(render_endurance_table(rows))
+    report = endurance_report(rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check and report["problems"]:
+        for update, problems in sorted(report["problems"].items()):
+            for problem in problems:
+                print(f"ENDURANCE {update}: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

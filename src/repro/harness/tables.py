@@ -161,8 +161,12 @@ def run_single_update(
     request_at_ms: float = 300.0,
     timeout_ms: float = 1_000.0,
     until_ms: float = 4_500.0,
+    bypass: str = "off",
 ) -> AppUpdateOutcome:
-    """Boot ``from_version`` under light load, apply one update, report."""
+    """Boot ``from_version`` under light load, apply one update, report.
+
+    ``bypass="auto"`` lets bypass-eligible updates take the zero-pause
+    immediate-bypass path instead of acquiring a safe point."""
     info = APPS[app]
     driver = AppDriver(
         app, info.versions, info.main_class,
@@ -170,7 +174,8 @@ def run_single_update(
     )
     driver.boot(from_version)
     sessions = _schedule_light_load(driver, app, info.port)
-    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms)
+    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms,
+                                      bypass=bypass)
     driver.run(until_ms=until_ms)
     result = holder["result"]
     from ..analysis import analyze_update
@@ -201,6 +206,9 @@ def run_single_update(
         ),
         body_only_supported=prepared_again.spec.method_body_only(),
         predicted_abort=lint_report.predicted_abort,
+        bc_verdict=(
+            lint_report.bc_verdict.verdict if lint_report.bc_verdict else ""
+        ),
         restricted_before=raw_spec.restricted_size(),
         restricted_after=prepared_again.spec.restricted_size(),
     )
@@ -235,29 +243,34 @@ def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
     predicted_aborts = sum(1 for o in aborted if o.predicted_abort)
     agree = sum(1 for o in outcomes if o.prediction_matches)
     shrunk = sum(1 for o in outcomes if o.restricted_after < o.restricted_before)
+    eligible = sum(1 for o in outcomes if o.bc_eligible)
+    bypassed = sum(1 for o in outcomes if o.result.bypassed)
     lines = [
         f"Experience: {applied} of {len(outcomes)} updates applied "
         f"(paper: 20 of 22); method-body-only systems could support "
         f"{body_only} (paper: 9); dsu-lint predicted {predicted_aborts} of "
         f"{len(aborted)} runtime abort(s) statically "
         f"({agree}/{len(outcomes)} verdicts agree); semantic diff shrank "
-        f"the restricted set on {shrunk} of {len(outcomes)} updates",
+        f"the restricted set on {shrunk} of {len(outcomes)} updates; "
+        f"con-freeness: {eligible} of {len(outcomes)} bypass-eligible, "
+        f"{bypassed} applied via immediate bypass",
         f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
-        f"{'why':>22s} {'predicted':>18s} {'restr':>8s} {'rounds':>6s} "
-        f"{'pause(ms)':>10s} {'objs':>6s}  notes",
+        f"{'why':>22s} {'predicted':>18s} {'bc':>7s} {'restr':>8s} "
+        f"{'rounds':>6s} {'pause(ms)':>10s} {'objs':>6s}  notes",
     ]
     for o in outcomes:
         update = f"{o.from_version}->{o.to_version}"
-        pause = f"{o.result.total_pause_ms:.1f}" if o.result.succeeded else "-"
+        pause = f"{o.result.total_pause_ms:.2f}" if o.result.succeeded else "-"
         why = o.abort_why or "-"
         predicted = o.predicted_abort or "-"
+        bc = ("bypass" if o.bc_eligible else "safept") if o.bc_verdict else "-"
         restr = (f"{o.restricted_before}->{o.restricted_after}"
                  if o.restricted_after != o.restricted_before
                  else str(o.restricted_before))
         lines.append(
             f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
-            f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {restr:>8s} "
-            f"{o.retry_rounds + 1:>6d} {pause:>10s} "
+            f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {bc:>7s} "
+            f"{restr:>8s} {o.retry_rounds + 1:>6d} {pause:>10s} "
             f"{o.result.objects_transformed:>6d}  {o.notes}"
         )
     return "\n".join(lines)

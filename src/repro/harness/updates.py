@@ -34,6 +34,9 @@ class AppUpdateOutcome:
     #: ``dsu-lint``'s static verdict before the update ran: the predicted
     #: ``"phase/reason"`` abort attribution, or ``""`` = predicted to land
     predicted_abort: str = ""
+    #: the static con-freeness verdict: ``"bypass-eligible"`` or
+    #: ``"requires-safepoint"`` (``""`` when the analyzer did not run)
+    bc_verdict: str = ""
     #: |restricted set| before/after semantic-diff minimization — the
     #: E6 "restr" column; equal values mean the minimizer proved nothing
     #: on this update
@@ -46,6 +49,8 @@ class AppUpdateOutcome:
         """Human-readable summary of how the update went through."""
         if not self.result.succeeded:
             return "aborted"
+        if self.result.bypassed:
+            return "bypass"
         parts = []
         if self.result.used_return_barriers:
             parts.append("return-barrier")
@@ -79,6 +84,11 @@ class AppUpdateOutcome:
         if self.retry_rounds:
             why += f" after {self.retry_rounds + 1} rounds"
         return why
+
+    @property
+    def bc_eligible(self) -> bool:
+        """True when the con-freeness verdict allows immediate bypass."""
+        return self.bc_verdict == "bypass-eligible"
 
     @property
     def prediction_matches(self) -> bool:
@@ -157,6 +167,7 @@ class AppDriver:
         backoff: float = 2.0,
         minimize: bool = True,
         lint: str = "off",
+        bypass: str = "off",
     ) -> Dict[str, UpdateResult]:
         prepared = self.prepare(to_version, minimize=minimize)
         request = UpdateRequest(
@@ -165,6 +176,7 @@ class AppDriver:
                 timeout_ms=timeout_ms, retries=retries, backoff=backoff
             ),
             lint=lint,
+            bypass=bypass,
         )
         holder: Dict[str, UpdateResult] = {}
         holder["prepared"] = prepared  # type: ignore[assignment]

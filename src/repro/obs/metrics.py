@@ -79,9 +79,18 @@ class Histogram:
 
     def percentile(self, fraction: float) -> float:
         """Exact percentile over the retained samples (0.99 = p99).
-        Returns 0.0 for an empty histogram."""
+
+        An empty histogram has no percentiles: asking for one is a caller
+        bug (a silent 0.0 here once masqueraded as a perfect p99), so it
+        raises :class:`ValueError` with the series name. A single-sample
+        series returns that sample for every fraction."""
         if not self.samples:
-            return 0.0
+            raise ValueError(
+                f"percentile({fraction}) of empty histogram "
+                f"{self.name!r}: no samples recorded"
+            )
+        if len(self.samples) == 1:
+            return self.samples[0]
         ordered = sorted(self.samples)
         index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
         return ordered[index]

@@ -333,6 +333,15 @@ class Interpreter:
         thread.frames.pop()
         if frame.return_barrier:
             vm.on_return_barrier(thread, frame)
+        # Version-tagged dispatch: a frame that outlived a bypass install
+        # (its method's bytecode_version moved on while it ran the old
+        # code) retires here — tell the engine one old-version frame is
+        # gone so it can track the two-version window draining.
+        if (
+            vm.stale_frame_retired_hook is not None
+            and frame.entered_at_version != frame.code.entry.bytecode_version
+        ):
+            vm.stale_frame_retired_hook(thread, frame)
         if thread.frames:
             caller = thread.frames[-1]
             if frame.arg_cells:

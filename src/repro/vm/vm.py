@@ -96,6 +96,13 @@ class VM:
         self.on_world_stopped: Optional[Callable[[], None]] = None
         self.return_barrier_hook: Optional[Callable[[VMThread, Frame], None]] = None
         self.force_transform_hook: Optional[Callable[[int], None]] = None
+        #: fired when a frame whose method body was replaced underneath it
+        #: (``entered_at_version`` behind the entry's ``bytecode_version``)
+        #: pops — the immediate-bypass path uses this to observe old-code
+        #: frames draining after a zero-pause install
+        self.stale_frame_retired_hook: Optional[
+            Callable[[VMThread, Frame], None]
+        ] = None
 
         self._rng_state = seed or 1
 

@@ -159,3 +159,58 @@ class TestStaticPrediction:
         text = render_experience_table([outcome])
         assert "safepoint/timeout" in text
         assert "predicted 1 of 1 runtime abort(s) statically" in text
+
+
+class TestEnduranceHarness:
+    """One long-lived server survives its whole update stream; the
+    bypass-eligible transitions must be invisible to traffic."""
+
+    def test_javaemail_stream_applies_with_bypass_where_eligible(self):
+        from repro.apps.registry import expected_bypass_eligible
+        from repro.harness.endurance import (
+            endurance_report,
+            render_endurance_table,
+            run_endurance,
+        )
+
+        rows = run_endurance("javaemail")
+        assert [
+            (row.from_version, row.to_version) for row in rows
+        ] == update_pairs("javaemail")
+        for row in rows:
+            expected = expected_bypass_eligible(
+                row.app, row.from_version, row.to_version
+            )
+            assert (row.mode == "bypass") == expected, (
+                f"{row.from_version}->{row.to_version}: {row.mode}"
+            )
+            if row.mode == "bypass":
+                assert row.status == "applied"
+                assert row.pause_ms == 0.0
+                assert row.safepoint_rounds == 0
+        # The §4 abort restarts the server onto the target release.
+        aborted = [row for row in rows if row.status != "applied"]
+        assert [(r.from_version, r.to_version) for r in aborted] == [
+            ("1.2.4", "1.3")
+        ]
+        assert aborted[0].restarted
+        report = endurance_report(rows)
+        assert report["problems"] == {}
+        assert report["bypassed"] == 3
+        table = render_endurance_table(rows)
+        assert "zero-pause immediate bypass" in table
+
+    def test_protocol_mismatch_is_a_problem(self):
+        from repro.harness.endurance import TransitionRow
+
+        row = TransitionRow(
+            app="jetty", from_version="5.1.0", to_version="5.1.1",
+            status="applied", mode="bypass", bc_verdict="bypass-eligible",
+            pause_ms=0.0, safepoint_rounds=0, stale_frames=0,
+            objects_transformed=0,
+            session_failure_kinds=["protocol-mismatch"],
+        )
+        assert any("protocol mismatch" in p for p in row.problems())
+        row.session_failure_kinds = []
+        row.pause_ms = 0.1
+        assert any("pause" in p for p in row.problems())

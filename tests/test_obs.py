@@ -5,8 +5,8 @@ Covers the span-tree invariants on hand-built traces, the Chrome
 ``trace_event`` exporter against a golden file, PhaseTimer's tolerance of
 mismatched start/stop pairs, metrics-registry consistency after real
 updates, well-formedness of every bundled update's trace (aborts and
-rollbacks included), and the deprecation contract of the legacy
-``request_update`` shim.
+rollbacks included), and the `UpdateRequest`/`submit()` facade contract
+(the legacy ``request_update`` shim is gone).
 """
 
 import json
@@ -188,7 +188,17 @@ class TestMetrics:
         assert histogram.percentile(0.5) == 51.0
         assert histogram.percentile(0.99) == 100.0
         assert histogram.percentile(1.0) == 100.0  # clamped to the max
-        assert Metrics().histogram("empty").percentile(0.99) == 0.0
+
+    def test_percentile_of_single_sample_is_that_sample(self):
+        metrics = Metrics()
+        metrics.observe("single", 42.0)
+        histogram = metrics.histograms["single"]
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.percentile(fraction) == 42.0
+
+    def test_percentile_of_empty_series_raises_clearly(self):
+        with pytest.raises(ValueError, match="empty"):
+            Metrics().histogram("empty").percentile(0.99)
 
 
 # ---------------------------------------------------------------------------
@@ -410,12 +420,14 @@ class TestBundledUpdateTraces:
 
 
 class TestFacade:
-    def test_request_update_shim_warns_and_forwards(self):
+    def test_request_update_shim_is_gone(self):
         fixture = UpdateFixture(UPDATE_V1).start()
         fixture.run(until_ms=60)
         prepared = fixture.prepare(UPDATE_V2)
-        with pytest.warns(DeprecationWarning, match="submit"):
-            result = fixture.engine.request_update(prepared, timeout_ms=500.0)
+        assert not hasattr(fixture.engine, "request_update")
+        result = fixture.engine.submit(
+            UpdateRequest(prepared, policy=RetryPolicy(500.0))
+        )
         fixture.run(until_ms=6_000)
         assert result.succeeded
 
