@@ -26,6 +26,13 @@ A fifth pass, **con-freeness classification** (:mod:`.confree`), reuses
 pass 1's graph to decide whether the update is ``bypass-eligible`` for
 the engine's zero-pause immediate-bypass mode or ``requires-safepoint``.
 
+A sixth pass, **back-edge OSR mapping** (:mod:`.osrmap`), takes the
+methods pass 3 proves can block forever and tries to *rescue* them: it
+statically builds a verified pc/local remap (an :class:`OSRPlan`) the
+engine can apply to the live loop frame after the retry budget burns
+down, or refuses with a ``DSU-OM..`` code explaining why no sound remap
+exists. Pass 3's diagnostics carry the per-method verdict.
+
 :func:`analyze_update` is the single entry point; ``repro.dsu.validation``
 and the ``dsu-lint`` CLI subcommand are thin wrappers over it.
 """
@@ -47,6 +54,14 @@ from .confree import (
     VerdictStep,
     classify_update,
 )
+from .osrmap import (
+    INDEFINITE_NATIVES,
+    OSRMapReport,
+    OSRPlan,
+    OSRRefusal,
+    compute_osr_plans,
+    osr_targets,
+)
 from .reachability import (
     BLOCKING_NATIVES,
     check_reachability,
@@ -58,6 +73,7 @@ from .report import (
     CODE_BAD_MAPPING,
     CODE_BOGUS_BLACKLIST,
     CODE_EMPTY_UPDATE,
+    CODE_OSR_PLANNED,
     CODE_UNRESOLVED_CALL,
     Diagnostic,
     SEVERITY_ERROR,
@@ -74,6 +90,10 @@ __all__ = [
     "CallGraph",
     "ConFreeVerdict",
     "Diagnostic",
+    "INDEFINITE_NATIVES",
+    "OSRMapReport",
+    "OSRPlan",
+    "OSRRefusal",
     "RestrictionClosure",
     "UnresolvedCall",
     "VERDICT_BYPASS",
@@ -86,9 +106,11 @@ __all__ = [
     "check_transformers",
     "classify_update",
     "compute_closure",
+    "compute_osr_plans",
     "format_method",
     "method_may_never_return",
     "never_return_closure",
+    "osr_targets",
     "recompute_category2",
 ]
 
@@ -176,13 +198,17 @@ _UNRESOLVED_REPORT_CAP = 10
 
 
 def analyze_update(
-    old_classfiles: Dict[str, ClassFile], prepared: PreparedUpdate
+    old_classfiles: Dict[str, ClassFile],
+    prepared: PreparedUpdate,
+    inloop_osr: bool = True,
 ) -> AnalysisReport:
-    """Run all four analyzer passes over one prepared update.
+    """Run the analyzer passes over one prepared update.
 
     ``old_classfiles`` is the running (old) program; the prelude is merged
     in automatically so calls into ``Sys``/``Net``/``Str`` resolve the way
-    the JIT resolves them.
+    the JIT resolves them. ``inloop_osr=False`` skips the sixth (osrmap)
+    pass — the paper-fidelity configuration, in which the two
+    blocked-forever updates abort the way §4 reports.
     """
     report = AnalysisReport(prepared.old_version, prepared.new_version)
     spec = prepared.spec
@@ -227,9 +253,30 @@ def analyze_update(
     report.extend(closure_diagnostics)
     report.predicted_restricted = closure.predicted
 
-    # Pass 3: safe-point reachability.
+    # Pass 6 runs *before* pass 3 is reported: reachability's verdicts
+    # ("will OSR" / "will abort") depend on which blockers got a plan.
+    osr_report = None
+    if inloop_osr:
+        osr_report = compute_osr_plans(
+            old_classfiles, prepared, graph=graph, closure=closure
+        )
+        report.osr_plans = osr_report
+        for key in osr_report.targets:
+            verdict = osr_report.verdict_for(key)
+            refusal = osr_report.refusals.get(key)
+            report.add(
+                Diagnostic(
+                    refusal.code if refusal else CODE_OSR_PLANNED,
+                    SEVERITY_INFO,
+                    f"osr-plan: {format_method(key)}: {verdict}",
+                    method=key,
+                )
+            )
+
+    # Pass 3: safe-point reachability, verdict-aware when pass 6 ran.
     reach_diagnostics, suggestions = check_reachability(
-        graph, closure, spec, prepared.active_method_mappings
+        graph, closure, spec, prepared.active_method_mappings,
+        osr_plans=osr_report,
     )
     report.extend(reach_diagnostics)
     report.blacklist_suggestions = suggestions

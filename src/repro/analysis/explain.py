@@ -11,7 +11,9 @@ category-2 candidates, and the inline chain for opt-tier hosts — or
 states that the method is unrestricted. It also appends the
 con-freeness steps anchored to the method, so "why does this update
 need a safe point instead of the immediate bypass?" is answered in the
-same breath.
+same breath — and, for a method the reachability pass proves can block
+forever, the in-loop OSR verdict (the verified plan, or the ``DSU-OM..``
+refusal spelling out why no sound remap exists).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from ..dsu.upt import PreparedUpdate
 from .callgraph import build_call_graph
 from .closure import RestrictionClosure, compute_closure
 from .confree import ConFreeVerdict, classify_update
+from .osrmap import OSRMapReport, compute_osr_plans
 from .report import format_method
 from .semdiff import category2_sites, post_update_world
 
@@ -60,6 +63,7 @@ def _explain_one(
     prepared: PreparedUpdate,
     closure: RestrictionClosure,
     confree: Optional[ConFreeVerdict] = None,
+    osr_plans: Optional[OSRMapReport] = None,
 ) -> List[str]:
     spec = prepared.spec
     reason = spec.minimization_reasons.get(key)
@@ -143,6 +147,11 @@ def _explain_one(
         else:
             add("  no con-freeness step anchors to this method "
                 "(only update-wide rules apply to it)")
+
+    if osr_plans is not None and key in osr_plans.targets:
+        add("in-loop OSR: this method's frames can block forever, so the "
+            "osrmap pass tried to prove a live-frame remap:")
+        add(f"  {osr_plans.verdict_for(key)}")
     return lines
 
 
@@ -160,6 +169,9 @@ def explain_restriction(
         program, prepared.spec, graph, prepared.new_classfiles
     )
     confree = classify_update(old_classfiles, prepared, graph)
+    osr_plans = compute_osr_plans(
+        old_classfiles, prepared, graph=graph, closure=closure
+    )
     keys = match_method_keys(program, query)
     if not keys:
         return (
@@ -168,5 +180,7 @@ def explain_restriction(
         )
     lines: List[str] = []
     for key in keys:
-        lines.extend(_explain_one(key, program, prepared, closure, confree))
+        lines.extend(
+            _explain_one(key, program, prepared, closure, confree, osr_plans)
+        )
     return "\n".join(lines)

@@ -120,10 +120,17 @@ def never_return_closure(graph: CallGraph) -> Dict[MethodKey, MethodKey]:
 
 
 def blocking_native_calls(graph: CallGraph, key: MethodKey) -> Set[str]:
-    """Blocking natives ``key`` may sit inside, directly or transitively."""
+    """Blocking natives ``key`` may sit inside, directly or transitively.
+
+    Both spellings count: a low-level ``INVOKENATIVE`` recorded in
+    ``graph.natives``, and a call into a prelude native *method*
+    (``Net.accept`` has no bytecode, so it only shows up as a callee)."""
     names = set(graph.natives.get(key, ()) ) & BLOCKING_NATIVES
     for callee in graph.transitive_callees(key):
         names |= graph.natives.get(callee, set()) & BLOCKING_NATIVES
+        dotted = f"{callee[0]}.{callee[1]}"
+        if dotted in BLOCKING_NATIVES:
+            names.add(dotted)
     return names
 
 
@@ -132,8 +139,14 @@ def check_reachability(
     closure: RestrictionClosure,
     spec: UpdateSpecification,
     active_mappings=(),
+    osr_plans=None,
 ) -> tuple:
-    """Returns ``(diagnostics, blacklist_suggestions)``."""
+    """Returns ``(diagnostics, blacklist_suggestions)``.
+
+    ``osr_plans`` is the :class:`~.osrmap.OSRMapReport` of the sixth lint
+    pass, when it ran: a blocker with a verified in-loop remap is
+    downgraded to a warning ("will OSR"), a refused one keeps its error
+    with the refusal code attached ("will abort")."""
     diagnostics: List[Diagnostic] = []
     suggestions: List[MethodKey] = []
     culprits = never_return_closure(graph)
@@ -142,12 +155,23 @@ def check_reachability(
     def depth_of(key: MethodKey) -> int:
         return depths.get(key, 1 << 30)
 
+    def plan_for(key: MethodKey):
+        if osr_plans is None:
+            return None
+        return osr_plans.plans.get(key)
+
+    def refusal_for(key: MethodKey):
+        if osr_plans is None:
+            return None
+        return osr_plans.refusals.get(key)
+
     # Changed methods with an extended-OSR mapping can be replaced while
     # running (§3.5); they never pin the safe point.
     mapped = set(active_mappings or ())
 
-    # Hard restrictions (changed bytecode + blacklist): nothing rescues
-    # these frames, so a never-returning one dooms the update.
+    # Hard restrictions (changed bytecode + blacklist): a never-returning
+    # one dooms the update — unless the osrmap pass proved an in-loop
+    # remap, in which case the engine rescues the live frame in place.
     hard_stuck = sorted(
         (k for k in closure.hard if k in culprits and k not in mapped),
         key=depth_of,
@@ -162,6 +186,26 @@ def check_reachability(
                 f"{format_method(culprit)}, which never returns"
             )
         already_blacklisted = key in spec.category3()
+        plan = plan_for(key)
+        refusal = refusal_for(key)
+        if plan is not None:
+            diagnostics.append(
+                Diagnostic(
+                    CODE_UNREACHABLE_SAFEPOINT,
+                    SEVERITY_WARNING,
+                    f"restricted method {format_method(key)} can never "
+                    f"leave the stack: {why}; will OSR ({plan.describe()})"
+                    f" — after the retry budget burns down the engine "
+                    f"remaps the live frame onto the new body in place",
+                    method=key,
+                )
+            )
+            continue
+        verdict = ""
+        if refusal is not None:
+            verdict = (
+                f"; will abort (no plan: {refusal.code} — {refusal.reason})"
+            )
         diagnostics.append(
             Diagnostic(
                 CODE_UNREACHABLE_SAFEPOINT,
@@ -169,7 +213,7 @@ def check_reachability(
                 f"restricted method {format_method(key)} can never leave "
                 f"the stack: {why}; while its thread runs, no DSU safe "
                 f"point is reachable and the update will burn its whole "
-                f"retry budget before aborting",
+                f"retry budget before aborting" + verdict,
                 method=key,
                 suggestion=(
                     "" if already_blacklisted else
@@ -184,10 +228,23 @@ def check_reachability(
 
     # Hard restrictions parked in blocking natives: they do return, but
     # only when the outside world sends traffic — under load they are
-    # "nearly always on stack" (the paper's Jetty acceptSocket case).
+    # "nearly always on stack" (the paper's Jetty acceptSocket case). An
+    # indefinitely-blocking one (accept) with a verified plan is rescued
+    # the same way as a spinning loop.
     for key in sorted(closure.hard - set(hard_stuck), key=depth_of):
         natives = blocking_native_calls(graph, key)
         if natives and key not in mapped:
+            plan = plan_for(key)
+            refusal = refusal_for(key)
+            if plan is not None:
+                tail = f"; will OSR ({plan.describe()})"
+            elif refusal is not None:
+                tail = (
+                    f"; will abort if the gap never comes (no plan: "
+                    f"{refusal.code} — {refusal.reason})"
+                )
+            else:
+                tail = ""
             diagnostics.append(
                 Diagnostic(
                     CODE_BLOCKING_NATIVE,
@@ -195,7 +252,7 @@ def check_reachability(
                     f"restricted method {format_method(key)} blocks in "
                     f"{'/'.join(sorted(natives))}; it is on the stack "
                     f"whenever the server is waiting for I/O, so the "
-                    f"update only lands in a traffic gap",
+                    f"update only lands in a traffic gap" + tail,
                     method=key,
                 )
             )

@@ -45,6 +45,23 @@ CODE_TRANSFORMER_READ = "DSU-TF01"
 CODE_TRANSFORMER_WRITE = "DSU-TF02"
 #: transformer body fails bytecode verification for another reason
 CODE_TRANSFORMER_VERIFY = "DSU-TF03"
+#: in-loop OSR mapping analysis (the sixth pass, analysis/osrmap.py):
+#: why a live loop frame of a changed method can or cannot be remapped
+#: onto the new body. OM00 carries a verified plan (informational; it
+#: also downgrades the matching DSU-SP01 error to a warning); OM01–OM05
+#: are refusals.
+CODE_OSR_PLANNED = "DSU-OM00"
+#: back-edge structure mismatch or ambiguous loop correspondence
+CODE_OSR_BACKEDGE = "DSU-OM01"
+#: a parkable old pc has no mapped new pc with the same operand-stack shape
+CODE_OSR_STACK = "DSU-OM02"
+#: no provable local-slot correspondence for a live local
+CODE_OSR_LOCALS = "DSU-OM03"
+#: a new-in-new local is live at the remap point without a provable
+#: constant/default initializer (no compensation assignment derivable)
+CODE_OSR_COMPENSATION = "DSU-OM04"
+#: structurally ineligible: deleted/native/descriptor-changed/unverifiable
+CODE_OSR_UNSUPPORTED = "DSU-OM05"
 #: legacy pre-flight checks (dsu/validation.py heritage)
 CODE_MISSING_TRANSFORMER = "DSU-PF01"
 CODE_FIELD_UNASSIGNED = "DSU-PF02"
@@ -108,6 +125,11 @@ class AnalysisReport:
     #: (:class:`repro.analysis.confree.ConFreeVerdict`): is this update
     #: eligible for the engine's zero-pause immediate-bypass mode?
     bc_verdict: Optional[Any] = None
+    #: the in-loop OSR mapping report
+    #: (:class:`repro.analysis.osrmap.OSRMapReport`) when the sixth pass
+    #: ran: verified back-edge remap plans and OM-coded refusals for the
+    #: restricted methods whose frames can block forever
+    osr_plans: Optional[Any] = None
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
@@ -136,8 +158,11 @@ class AnalysisReport:
         with, or ``""`` when the update can land. An unreachable safe
         point surfaces at runtime as a safe-point timeout after the retry
         budget burns down; transformer/spec errors surface later, so the
-        safe-point prediction wins when both are present."""
-        if self.by_code(CODE_UNREACHABLE_SAFEPOINT):
+        safe-point prediction wins when both are present. A DSU-SP01
+        downgraded to a warning by a verified in-loop OSR plan no longer
+        predicts an abort — the engine rescues the frame instead."""
+        if any(d.severity == SEVERITY_ERROR
+               for d in self.by_code(CODE_UNREACHABLE_SAFEPOINT)):
             return "safepoint/timeout"
         if any(d.code in (CODE_TRANSFORMER_READ, CODE_TRANSFORMER_WRITE,
                           CODE_TRANSFORMER_VERIFY)
@@ -157,6 +182,9 @@ class AnalysisReport:
             "predicted_abort": self.predicted_abort,
             "bc_verdict": (
                 self.bc_verdict.to_dict() if self.bc_verdict else None
+            ),
+            "osr_plans": (
+                self.osr_plans.to_dict() if self.osr_plans else None
             ),
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
@@ -196,4 +224,6 @@ class AnalysisReport:
             lines.append(
                 f"  bc-verdict: {self.bc_verdict.verdict}{suffix}"
             )
+        if self.osr_plans is not None and self.osr_plans.targets:
+            lines.append(f"  osr-plan: {self.osr_plans.summary()}")
         return "\n".join(lines)

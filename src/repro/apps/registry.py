@@ -51,7 +51,16 @@ class ExpectedOutcome:
     paper_osr: bool = False
     #: True when the update only applies while the server is idle (§4.4)
     idle_only: bool = False
+    #: True when the paper reports an abort but the in-loop OSR rescue
+    #: (our extension of the paper's §3.5 future work) applies it anyway
+    osr_rescued: bool = False
     note: str = ""
+
+    @property
+    def expected_status(self) -> str:
+        """This system's expected outcome: the paper's, except the two
+        rescued aborts land (``--paper-fidelity`` restores the paper's)."""
+        return "applied" if self.osr_rescued else self.paper_outcome
 
 
 def update_pairs(app: str) -> List[Tuple[str, str]]:
@@ -59,12 +68,15 @@ def update_pairs(app: str) -> List[Tuple[str, str]]:
     return list(zip(order, order[1:]))
 
 
-#: The paper's §4 results: 22 updates, 20 applied, 2 aborted.
+#: The paper's §4 results: 22 updates, 20 applied, 2 aborted. With the
+#: in-loop OSR rescue the two aborts land as well (22/22); the
+#: ``osr_rescued`` flag records which rows diverge from the paper.
 EXPECTED_OUTCOMES: List[ExpectedOutcome] = (
     [
         ExpectedOutcome(
             "jetty", a, b,
             "aborted" if b == "5.1.3" else "applied",
+            osr_rescued=(b == "5.1.3"),
             note="acceptSocket/PoolThread.run always on stack" if b == "5.1.3" else "",
         )
         for a, b in update_pairs("jetty")
@@ -74,6 +86,7 @@ EXPECTED_OUTCOMES: List[ExpectedOutcome] = (
             "javaemail", a, b,
             "aborted" if b == "1.3" else "applied",
             paper_osr=b in ("1.3.2", "1.3.3"),
+            osr_rescued=(b == "1.3"),
             note={
                 "1.3": "config rework changes infinite accept loops",
                 "1.3.2": "paper's Figure 2/3 example; OSR on processor loops",
@@ -110,6 +123,25 @@ STATIC_PREDICTED_ABORTS: FrozenSet[Tuple[str, str, str]] = frozenset(
 
 def statically_predicted_abort(app: str, from_version: str, to_version: str) -> bool:
     return (app, from_version, to_version) in STATIC_PREDICTED_ABORTS
+
+
+#: The paper's two aborts, rescued by the in-loop OSR extension: the
+#: osrmap pass proves a pc/local remap for every blocking loop frame, and
+#: the engine applies it after the retry budget burns down instead of
+#: aborting. Exactly the statically-predicted aborts — a predicted abort
+#: without a plan stays an abort, and a plan for anything outside this
+#: set means the rescued surface drifted (the CI ``--check-expected``
+#: gate fails on either).
+EXPECTED_OSR_RESCUED: FrozenSet[Tuple[str, str, str]] = frozenset(
+    {
+        ("jetty", "5.1.2", "5.1.3"),
+        ("javaemail", "1.2.4", "1.3"),
+    }
+)
+
+
+def expected_osr_rescued(app: str, from_version: str, to_version: str) -> bool:
+    return (app, from_version, to_version) in EXPECTED_OSR_RESCUED
 
 
 #: Updates the con-freeness analyzer classifies ``bypass-eligible``: every

@@ -120,7 +120,8 @@ def cmd_update(args) -> int:
     )
     from .dsu.validation import validate_update
 
-    for warning in validate_update(old, prepared):
+    for warning in validate_update(old, prepared,
+                                   inloop_osr=not args.paper_fidelity):
         print(f"[warn] {warning}", file=sys.stderr)
     timeout_ms = (
         args.dsu_timeout_ms if args.dsu_timeout_ms is not None
@@ -134,8 +135,10 @@ def cmd_update(args) -> int:
     except ValueError as bad:
         print(f"error: {bad}", file=sys.stderr)
         return 2
-    request = UpdateRequest(prepared, policy=policy, lint=args.dsu_lint,
-                            bypass=args.bypass)
+    request = UpdateRequest(
+        prepared, policy=policy, lint=args.dsu_lint, bypass=args.bypass,
+        inloop_osr="off" if args.paper_fidelity else args.inloop_osr,
+    )
     vm.events.schedule(args.at, lambda: engine.submit(request))
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
     if args.trace_out:
@@ -230,6 +233,8 @@ def cmd_endurance(args) -> int:
     ]
     if args.app is not None:
         forwarded += ["--app", args.app]
+    if args.paper_fidelity:
+        forwarded.append("--paper-fidelity")
     if args.check:
         forwarded.append("--check")
     return endurance_main(forwarded)
@@ -279,6 +284,7 @@ def cmd_dsu_lint(args) -> int:
     if args.all_apps or args.app:
         from .apps.registry import (
             APPS,
+            EXPECTED_OSR_RESCUED,
             STATIC_PREDICTED_ABORTS,
             expected_bypass_eligible,
             update_pairs,
@@ -344,7 +350,12 @@ def cmd_dsu_lint(args) -> int:
         return 0
 
     reports = [
-        (label, analyze_update(old, prepared), expect_errors)
+        (
+            label,
+            analyze_update(old, prepared,
+                           inloop_osr=not args.paper_fidelity),
+            expect_errors,
+        )
         for label, old, prepared, expect_errors, _ in targets
     ]
 
@@ -408,6 +419,15 @@ def cmd_dsu_lint(args) -> int:
                 print(report.bc_verdict.render())
             else:
                 print("bc-verdict: unavailable (analysis did not run)")
+    elif args.osr_plan:
+        for label, report, _ in reports:
+            if len(reports) > 1:
+                print(f"== {label}")
+            if report.osr_plans is not None:
+                print(report.osr_plans.render())
+            else:
+                print("osr-plan: unavailable "
+                      "(the osrmap pass was disabled)")
     else:
         for label, report, _ in reports:
             print(f"== {label}")
@@ -421,7 +441,11 @@ def cmd_dsu_lint(args) -> int:
     if args.check_expected:
         failures = []
         for label, report, expect_errors in reports:
-            expect_errors = bool(expect_errors)
+            # With the osrmap pass on, the statically predicted aborts are
+            # rescued: their DSU-SP01 errors are downgraded to warnings, so
+            # *no* update may report errors. --paper-fidelity restores the
+            # original expectation (errors on exactly the predicted aborts).
+            expect_errors = bool(expect_errors) and args.paper_fidelity
             if report.has_errors and not expect_errors:
                 failures.append(
                     f"{label}: unexpected error-severity diagnostics "
@@ -432,6 +456,29 @@ def cmd_dsu_lint(args) -> int:
                     f"{label}: expected a statically predicted abort, "
                     f"but the analyzer reports no errors"
                 )
+        # The rescued surface must not drift: fully-planned osrmap reports
+        # on exactly the registry's EXPECTED_OSR_RESCUED pairs.
+        if not args.paper_fidelity:
+            for (label, _, _, _, boot_info), (_, report, _) in zip(
+                targets, reports
+            ):
+                if boot_info is None or report.osr_plans is None:
+                    continue
+                rescue_expected = boot_info in EXPECTED_OSR_RESCUED
+                planned = report.osr_plans.fully_planned
+                if planned and not rescue_expected:
+                    failures.append(
+                        f"{label}: the osrmap pass verified plans for all "
+                        f"blocking methods, but the registry does not "
+                        f"record this pair as OSR-rescued (drift)"
+                    )
+                elif rescue_expected and not planned:
+                    failures.append(
+                        f"{label}: registry records this pair as "
+                        f"OSR-rescued, but the osrmap pass could not plan "
+                        f"every blocking method "
+                        f"({report.osr_plans.summary()})"
+                    )
         # The con-freeness verdicts must also match the registry: exactly
         # the recorded pairs classify bypass-eligible, nothing else.
         for (label, _, _, _, boot_info), (_, report, _) in zip(
@@ -536,6 +583,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "updates install with zero pause and no safe "
                              "point; 'require' aborts instead of falling "
                              "back to the safe-point path")
+    update.add_argument("--inloop-osr", choices=("off", "auto"),
+                        default="auto",
+                        help="in-loop OSR rescue: 'auto' statically plans "
+                             "frame remaps for restricted methods that "
+                             "block forever and applies them after the "
+                             "retry budget burns down, instead of aborting")
+    update.add_argument("--paper-fidelity", action="store_true",
+                        help="disable the in-loop OSR rescue (forces "
+                             "--inloop-osr off): blocked-forever updates "
+                             "abort the way the paper's §4 reports")
     update.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write the run's span tree as Chrome "
                              "trace_event JSON (Perfetto-loadable)")
@@ -590,12 +647,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print only the con-freeness verdict and its "
                            "full explanation chain: is this update eligible "
                            "for the zero-pause immediate bypass?")
+    lint.add_argument("--osr-plan", action="store_true",
+                      help="print only the in-loop OSR mapping verdicts: "
+                           "for every restricted method that blocks "
+                           "forever, the statically verified frame remap "
+                           "(pc map, local moves, compensation) or the "
+                           "DSU-OM refusal explaining why none exists")
+    lint.add_argument("--paper-fidelity", action="store_true",
+                      help="disable the osrmap pass: blocked-forever "
+                           "updates keep their DSU-SP01 errors and "
+                           "--check-expected expects them (the paper's "
+                           "20-of-22 configuration)")
     lint.add_argument("--check-expected", action="store_true",
-                      help="CI mode: fail unless error diagnostics appear on "
-                           "exactly the updates the registry records as "
-                           "statically predicted aborts, and the "
-                           "con-freeness verdicts match the registry's "
-                           "bypass-eligible set exactly")
+                      help="CI mode: fail unless no update reports error "
+                           "diagnostics, the osrmap pass verifies plans on "
+                           "exactly the registry's OSR-rescued pairs, and "
+                           "the con-freeness verdicts match the registry's "
+                           "bypass-eligible set exactly; with "
+                           "--paper-fidelity, errors must instead appear "
+                           "on exactly the statically predicted aborts")
     lint.add_argument("--explain", metavar="CLASS.METHOD", default=None,
                       help="explain why one method is (or is not) in the "
                            "restricted set: category, semantic-diff proof, "
@@ -652,11 +722,15 @@ def build_parser() -> argparse.ArgumentParser:
     endurance.add_argument("--timeout-ms", type=float, default=1_000.0,
                            help="per-round safe-point window for "
                                 "non-bypass updates (simulated ms)")
+    endurance.add_argument("--paper-fidelity", action="store_true",
+                           help="disable the in-loop OSR rescue: the two "
+                                "§4 aborts abort and the server restarts "
+                                "onto the target release")
     endurance.add_argument("--check", action="store_true",
                            help="exit non-zero on a nonzero bypass pause, "
-                                "any bypass safe-point round, a bypass set "
-                                "differing from the registry, or a "
-                                "traffic protocol mismatch")
+                                "any bypass safe-point round, a bypass or "
+                                "OSR-rescued set differing from the "
+                                "registry, or a traffic protocol mismatch")
     endurance.set_defaults(fn=cmd_endurance)
     return parser
 

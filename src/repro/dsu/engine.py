@@ -162,9 +162,19 @@ class UpdateResult:
     return_barriers_installed: int = 0
     used_osr: bool = False
     osr_frames: int = 0
-    #: frames of *changed* methods replaced via user-supplied mappings
-    #: (the §3.5 extended-OSR extension)
+    #: frames of *changed* methods replaced via state mappings (the §3.5
+    #: extended-OSR extension) — user-supplied or analyzer-derived
     extended_osr_frames: int = 0
+    #: True when the update landed through the last-resort in-loop OSR
+    #: rescue: the retry budget burned down, but every blocking loop frame
+    #: had a statically verified remap plan and was replaced in place
+    osr_rescued: bool = False
+    #: number of in-loop remap plans the osrmap pre-flight verified
+    #: (``UpdateRequest.inloop_osr="auto"`` only)
+    osr_plans_verified: int = 0
+    #: OM refusal codes from the osrmap pre-flight, one per unplannable
+    #: blocking method
+    osr_plans_refused: List[str] = field(default_factory=list)
     blockers_seen: Set[str] = field(default_factory=set)
     #: ``dsu-lint`` pre-flight summary, when ``UpdateRequest.lint`` ran
     #: the analyzer: error/warning counts and the predicted
@@ -250,12 +260,22 @@ class UpdateRequest:
     #: stays disabled — a collection would evacuate objects out from under
     #: the snapshot's heap image.
     hold_transaction: bool = False
+    #: ``"off"`` | ``"auto"`` — the in-loop OSR rescue mode. ``auto`` runs
+    #: the static osrmap analysis at submit time and, when the retry
+    #: budget burns down with the world still blocked, remaps the live
+    #: loop frames of changed methods onto the new bodies using the
+    #: verified plans — inside the update transaction — instead of
+    #: aborting. ``off`` reproduces the paper's behavior (the two §4
+    #: aborts stay aborts).
+    inloop_osr: str = "off"
 
     def __post_init__(self):
         if self.lint not in ("off", "warn", "strict"):
             raise ValueError(f"unknown lint mode {self.lint!r}")
         if self.bypass not in ("off", "auto", "require"):
             raise ValueError(f"unknown bypass mode {self.bypass!r}")
+        if self.inloop_osr not in ("off", "auto"):
+            raise ValueError(f"unknown inloop_osr mode {self.inloop_osr!r}")
 
 
 class _ActiveUpdate:
@@ -274,6 +294,18 @@ class _ActiveUpdate:
         #: trace spans open for the whole update / the current round
         self.update_span = None
         self.round_span = None
+        #: verified in-loop OSR plans (method key -> ActiveMethodMapping),
+        #: computed statically at submit time when ``inloop_osr="auto"``;
+        #: consulted only by the last-resort rescue after the final round
+        self.rescue_mappings: Dict[tuple, "ActiveMethodMapping"] = {}
+
+    def mapping_for(self, key: tuple):
+        """The state mapping for one changed method: a user-supplied
+        mapping wins over an analyzer-derived rescue plan."""
+        mapping = self.prepared.active_method_mappings.get(key)
+        if mapping is not None:
+            return mapping
+        return self.rescue_mappings[key]
 
 
 class UpdateEngine:
@@ -370,7 +402,10 @@ class UpdateEngine:
             from ..analysis import analyze_update
 
             with tracer.span("dsu.preflight.lint", "dsu", mode=request.lint):
-                report = analyze_update(dict(vm.classfiles), prepared)
+                report = analyze_update(
+                    dict(vm.classfiles), prepared,
+                    inloop_osr=(request.inloop_osr == "auto"),
+                )
             result.lint_errors = len(report.errors())
             result.lint_warnings = len(report.warnings())
             result.lint_predicted_abort = report.predicted_abort
@@ -428,6 +463,22 @@ class UpdateEngine:
         self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
         self.active.hold_transaction = request.hold_transaction
         self.active.update_span = update_span
+        if request.inloop_osr == "auto":
+            from ..analysis.osrmap import compute_osr_plans
+
+            with tracer.span("dsu.preflight.osrmap", "dsu") as osrmap_span:
+                osr_report = compute_osr_plans(dict(vm.classfiles), prepared)
+                self.active.rescue_mappings = osr_report.mappings()
+                result.osr_plans_verified = len(osr_report.plans)
+                result.osr_plans_refused = sorted(
+                    refusal.code
+                    for refusal in osr_report.refusals.values()
+                )
+                osrmap_span.args.update(
+                    targets=len(osr_report.targets),
+                    plans=len(osr_report.plans),
+                    refused=len(osr_report.refusals),
+                )
         self.active.round_span = tracer.begin(
             "dsu.safepoint.round", "dsu", round=0,
             window_ms=policy.round_timeout_ms(0),
@@ -638,6 +689,27 @@ class UpdateEngine:
             vm.yield_flag = True
             self._schedule_deadline_check(active)
             return
+        # Last resort before aborting: with verified in-loop OSR plans, a
+        # re-scan that also treats plan-covered frames as replaceable may
+        # find the world safe after all — the spinning loop frames of
+        # changed methods get remapped onto the new bodies inside the
+        # update transaction (so a later-phase failure still rolls the
+        # original frames back exactly).
+        if active.rescue_mappings:
+            merged = dict(active.rescue_mappings)
+            merged.update(active.prepared.active_method_mappings)
+            scan = scan_stacks(vm, active.sets, merged)
+            if scan.is_safe:
+                active.result.osr_rescued = True
+                vm.tracer.instant(
+                    "dsu.osr.rescue", "dsu",
+                    plans=len(active.rescue_mappings),
+                    frames=len(scan.extended_osr),
+                )
+                vm.metrics.inc("dsu.inloop_osr_rescues")
+                self._apply(scan)
+                return
+            active.result.blockers_seen.update(scan.blocking_method_names())
         blockers = sorted(active.result.blockers_seen)
         reason_code = REASON_TIMEOUT
         blacklist_names = {
@@ -829,11 +901,12 @@ class UpdateEngine:
                     result.used_osr = True
                     result.osr_frames += osr_replace_all(vm, scan.osr_candidates)
                 for frame, key in scan.extended_osr:
-                    mapping = active.prepared.active_method_mappings[key]
+                    mapping = active.mapping_for(key)
                     if injector is not None:
                         injector.on_osr(frame.code.entry.qualified_name)
                     osr_replace_mapped(vm, frame, mapping.pc_map,
-                                       mapping.locals_map)
+                                       mapping.locals_map,
+                                       mapping.compensation)
                     result.used_osr = True
                     result.extended_osr_frames += 1
                 osr_span.args.update(
@@ -957,6 +1030,10 @@ class UpdateEngine:
         self.vm.metrics.inc("dsu.rollbacks")
         if self.fault_injector is not None:
             active.result.injected_faults = list(self.fault_injector.fired)
+        # A rescue only counts if the transaction committed: the rollback
+        # just restored every pre-OSR frame, so nothing stayed remapped.
+        active.result.osr_rescued = False
+        active.result.extended_osr_frames = 0
         self._abort(message, phase=phase, reason_code=reason_code,
                     rolled_back=True)
 

@@ -51,12 +51,15 @@ class ActiveMethodMapping:
     ``pc_map`` maps old-code pcs (where the frame may be parked: yield
     points and call sites) to equivalent new-code pcs. ``locals_map`` maps
     old local slots to new slots; unmapped new slots start at their default
-    (0/null). The operand stack is carried over verbatim and must match the
-    new pc's verified stack shape.
+    (0/null). ``compensation`` seeds new-in-new local slots with constant
+    values (the analyzer's provable initializers — "compensation code" in
+    the OSR-à-la-carte sense) after the move. The operand stack is carried
+    over verbatim and must match the new pc's verified stack shape.
     """
 
     pc_map: Dict[int, int]
     locals_map: Dict[int, int] = field(default_factory=dict)
+    compensation: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass

@@ -24,13 +24,20 @@ from .upt import PreparedUpdate
 
 
 def validate_update(
-    old_classfiles: Dict[str, ClassFile], prepared: PreparedUpdate
+    old_classfiles: Dict[str, ClassFile],
+    prepared: PreparedUpdate,
+    inloop_osr: bool = True,
 ) -> List[str]:
-    """Return human-readable warnings (empty = clean)."""
+    """Return human-readable warnings (empty = clean).
+
+    ``inloop_osr=False`` skips the osrmap pass, so never-returning
+    restricted methods warn "will abort" instead of "will OSR" — matching
+    an engine configured with the rescue off (``--paper-fidelity``).
+    """
     from ..analysis import analyze_update
     from ..analysis.report import SEVERITY_ERROR, SEVERITY_WARNING
 
-    report = analyze_update(old_classfiles, prepared)
+    report = analyze_update(old_classfiles, prepared, inloop_osr=inloop_osr)
     return [
         diagnostic.message
         for diagnostic in report.diagnostics

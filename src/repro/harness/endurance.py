@@ -16,21 +16,26 @@ transition — the numbers that show bypass updates are invisible to
 traffic (0.00 ms pause, zero rounds) while safe-point updates pay their
 documented pause.
 
-The two §4 aborts (Jetty 5.1.2→5.1.3, JavaEmailServer 1.2.4→1.3) abort
-here too — their changed methods never leave the stack, so no safe
-point exists.  An operator faced with that verdict restarts into the new
-version; the harness does the same (a fresh VM boots the target
-version, flagged ``restarted`` on the row) so the stream continues on
-the registry's release ladder and the later bypass-eligible updates are
-measured against their true predecessors.
+The two §4 aborts (Jetty 5.1.2→5.1.3, JavaEmailServer 1.2.4→1.3) are
+rescued here by the in-loop OSR extension: the engine remaps the
+blocking loop frames onto the new bodies after the retry budget burns
+down, so the long-lived server is updated *in place* — no restart, no
+lost listener state.  Under ``--paper-fidelity`` the rescue is disabled
+and they abort the way §4 reports; an operator faced with that verdict
+restarts into the new version, and the harness does the same (a fresh
+VM boots the target version, flagged ``restarted`` on the row) so the
+stream continues on the registry's release ladder and the later
+bypass-eligible updates are measured against their true predecessors.
 
 Artifacts: ``BENCH_endurance.json`` (one row per transition; the CI
 endurance-smoke job uploads it) and a human table via
 :func:`render_endurance_table`.  ``--check`` turns the invariants into
 a gate: every bypass row must show a 0.00 ms pause and zero safe-point
 rounds, exactly the registry's bypass-eligible pairs may take the
-bypass path, and no transition may lose a client session to a protocol
-mismatch (the traffic must never observe a half-installed update).
+bypass path, exactly the registry's ``EXPECTED_OSR_RESCUED`` pairs may
+take the in-loop OSR path (unless ``--paper-fidelity`` disabled it),
+and no transition may lose a client session to a protocol mismatch
+(the traffic must never observe a half-installed update).
 """
 
 from __future__ import annotations
@@ -41,7 +46,12 @@ import sys
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
-from ..apps.registry import APPS, expected_bypass_eligible, update_pairs
+from ..apps.registry import (
+    APPS,
+    expected_bypass_eligible,
+    expected_osr_rescued,
+    update_pairs,
+)
 from ..net.httpclient import HttpConnectionClient
 from ..net.ftpclient import browse_script
 from ..net.loadgen import FAILURE_PROTOCOL, ScriptedSession
@@ -81,6 +91,11 @@ class TransitionRow:
     #: True when the abort forced an operator-style restart onto
     #: ``to_version`` (fresh VM) so the stream could continue
     restarted: bool = False
+    #: True when the in-loop OSR rescue remapped blocking loop frames to
+    #: land this update (the server was updated in place, no restart)
+    osr_rescued: bool = False
+    #: True when the run disabled the rescue (``--paper-fidelity``)
+    paper_fidelity: bool = False
     sessions_completed: int = 0
     sessions_failed: int = 0
     #: failure kinds of the failed sessions (protocol mismatches gate CI)
@@ -116,6 +131,25 @@ class TransitionRow:
             problems.append(
                 f"registry records this pair bypass-eligible, but it went "
                 f"through as {self.mode}/{self.status}"
+            )
+        rescue_expected = expected_osr_rescued(
+            self.app, self.from_version, self.to_version
+        )
+        if self.osr_rescued and not rescue_expected:
+            problems.append(
+                "took the in-loop OSR rescue path, but the registry does "
+                "not record this pair as OSR-rescued (the rescued surface "
+                "drifted)"
+            )
+        elif rescue_expected and not self.paper_fidelity and not self.osr_rescued:
+            problems.append(
+                f"registry records this pair as rescued by in-loop OSR, "
+                f"but it went through as {self.mode}/{self.status}"
+            )
+        elif rescue_expected and self.paper_fidelity and self.status != "aborted":
+            problems.append(
+                f"paper-fidelity mode must reproduce the §4 abort for this "
+                f"pair, but it went through as {self.mode}/{self.status}"
             )
         if FAILURE_PROTOCOL in self.session_failure_kinds:
             problems.append(
@@ -177,8 +211,15 @@ def _latencies(sessions) -> List[float]:
     return values
 
 
-def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
-    """Walk one application's full update stream on a single server."""
+def run_endurance(
+    app: str,
+    timeout_ms: float = 1_000.0,
+    paper_fidelity: bool = False,
+) -> List[TransitionRow]:
+    """Walk one application's full update stream on a single server.
+
+    ``paper_fidelity=True`` disables the in-loop OSR rescue: the two §4
+    aborts abort, and the harness restarts onto the target release."""
     info = APPS[app]
 
     def fresh(version: str) -> AppDriver:
@@ -198,6 +239,7 @@ def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
         sessions = _spawn_transition_traffic(driver, app, now + 40.0)
         holder = driver.request_update_at(
             now + _REQUEST_LEAD_MS, to_version, timeout_ms, bypass="auto",
+            inloop_osr="off" if paper_fidelity else "auto",
         )
         driver.run(until_ms=now + _WINDOW_MS + _SETTLE_MS)
         result = holder["result"]
@@ -213,7 +255,9 @@ def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
             from_version=from_version,
             to_version=to_version,
             status=result.status,
-            mode="bypass" if result.bypassed else "safepoint",
+            mode=("bypass" if result.bypassed
+                  else "inloop-osr" if result.osr_rescued
+                  else "safepoint"),
             bc_verdict=result.bc_verdict,
             pause_ms=result.total_pause_ms if result.succeeded else 0.0,
             safepoint_rounds=(0 if result.bypassed
@@ -222,6 +266,8 @@ def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
             objects_transformed=result.objects_transformed,
             abort_why=("" if result.succeeded else
                        f"{result.failed_phase}/{result.reason_code}"),
+            osr_rescued=result.osr_rescued,
+            paper_fidelity=paper_fidelity,
             sessions_completed=sum(
                 1 for s in sessions if getattr(s, "succeeded", False)
             ),
@@ -246,20 +292,29 @@ def run_endurance(app: str, timeout_ms: float = 1_000.0) -> List[TransitionRow]:
     return rows
 
 
-def run_endurance_sweep(timeout_ms: float = 1_000.0) -> List[TransitionRow]:
+def run_endurance_sweep(
+    timeout_ms: float = 1_000.0, paper_fidelity: bool = False
+) -> List[TransitionRow]:
     """Every application's endurance run, concatenated."""
     rows: List[TransitionRow] = []
     for app in APPS:
-        rows.extend(run_endurance(app, timeout_ms=timeout_ms))
+        rows.extend(run_endurance(
+            app, timeout_ms=timeout_ms, paper_fidelity=paper_fidelity,
+        ))
     return rows
 
 
 def render_endurance_table(rows: List[TransitionRow]) -> str:
     bypassed = sum(1 for r in rows if r.mode == "bypass")
     applied = sum(1 for r in rows if r.status == "applied")
+    rescued = sum(1 for r in rows if r.osr_rescued)
+    rescue_note = (
+        f", {rescued} in place via in-loop OSR" if rescued else ""
+    )
     lines = [
         f"Endurance: {applied} of {len(rows)} transitions applied on "
-        f"long-lived servers, {bypassed} via zero-pause immediate bypass",
+        f"long-lived servers, {bypassed} via zero-pause immediate bypass"
+        f"{rescue_note}",
         f"{'app':>10s} {'update':>16s} {'outcome':>8s} {'mode':>9s} "
         f"{'pause(ms)':>10s} {'rounds':>6s} {'stale':>5s} "
         f"{'p50':>8s} {'p95':>8s} {'p99':>8s} {'sess':>5s}  notes",
@@ -270,6 +325,8 @@ def render_endurance_table(rows: List[TransitionRow]) -> str:
         notes = row.abort_why
         if row.restarted:
             notes += " [restarted]"
+        if row.osr_rescued:
+            notes += " [rescued in place]"
         lines.append(
             f"{row.app:>10s} {update:>16s} {row.status:>8s} {row.mode:>9s} "
             f"{pause:>10s} {row.safepoint_rounds:>6d} {row.stale_frames:>5d} "
@@ -287,6 +344,7 @@ def endurance_report(rows: List[TransitionRow]) -> dict:
         "clock": "simulated",
         "transitions": [asdict(row) for row in rows],
         "bypassed": sum(1 for row in rows if row.mode == "bypass"),
+        "osr_rescued": sum(1 for row in rows if row.osr_rescued),
         "problems": {
             f"{row.app} {row.from_version}->{row.to_version}": problems
             for row in rows
@@ -308,11 +366,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--timeout-ms", type=float, default=1_000.0,
                         help="per-round DSU safe-point window for "
                              "non-bypass updates (simulated ms)")
+    parser.add_argument("--paper-fidelity", action="store_true",
+                        help="disable the in-loop OSR rescue: the two §4 "
+                             "aborts abort and the harness restarts onto "
+                             "the target release (the paper's behavior)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a bypass transition reports "
                              "a nonzero pause or any safe-point round, the "
-                             "bypass set differs from the registry's, or "
-                             "traffic hit a protocol mismatch")
+                             "bypass or OSR-rescued set differs from the "
+                             "registry's, or traffic hit a protocol "
+                             "mismatch")
     args = parser.parse_args(argv)
 
     if args.app is not None:
@@ -320,9 +383,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown app {args.app!r} "
                   f"(have: {', '.join(sorted(APPS))})", file=sys.stderr)
             return 2
-        rows = run_endurance(args.app, timeout_ms=args.timeout_ms)
+        rows = run_endurance(args.app, timeout_ms=args.timeout_ms,
+                             paper_fidelity=args.paper_fidelity)
     else:
-        rows = run_endurance_sweep(timeout_ms=args.timeout_ms)
+        rows = run_endurance_sweep(timeout_ms=args.timeout_ms,
+                                   paper_fidelity=args.paper_fidelity)
     print(render_endurance_table(rows))
     report = endurance_report(rows)
     with open(args.out, "w", encoding="utf-8") as handle:

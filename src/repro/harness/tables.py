@@ -162,11 +162,15 @@ def run_single_update(
     timeout_ms: float = 1_000.0,
     until_ms: float = 4_500.0,
     bypass: str = "off",
+    paper_fidelity: bool = False,
 ) -> AppUpdateOutcome:
     """Boot ``from_version`` under light load, apply one update, report.
 
     ``bypass="auto"`` lets bypass-eligible updates take the zero-pause
-    immediate-bypass path instead of acquiring a safe point."""
+    immediate-bypass path instead of acquiring a safe point.
+    ``paper_fidelity=True`` disables the in-loop OSR rescue, reproducing
+    the paper's §4 numbers exactly (20 of 22; the two blocked-forever
+    updates abort)."""
     info = APPS[app]
     driver = AppDriver(
         app, info.versions, info.main_class,
@@ -174,15 +178,18 @@ def run_single_update(
     )
     driver.boot(from_version)
     sessions = _schedule_light_load(driver, app, info.port)
-    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms,
-                                      bypass=bypass)
+    holder = driver.request_update_at(
+        request_at_ms, to_version, timeout_ms, bypass=bypass,
+        inloop_osr="off" if paper_fidelity else "auto",
+    )
     driver.run(until_ms=until_ms)
     result = holder["result"]
     from ..analysis import analyze_update
 
     prepared_again = driver.prepare_pair(from_version, to_version)
     lint_report = analyze_update(
-        driver.classfiles(from_version), prepared_again
+        driver.classfiles(from_version), prepared_again,
+        inloop_osr=not paper_fidelity,
     )
     raw_spec = diff_programs(
         driver.classfiles(from_version),
@@ -214,11 +221,19 @@ def run_single_update(
     )
     expected = expected_outcome(app, from_version, to_version)
     if expected is not None:
-        matches = (result.status == expected.paper_outcome)
+        want = (
+            expected.paper_outcome if paper_fidelity
+            else expected.expected_status
+        )
+        matches = (result.status == want)
         outcome.notes = (
             f"paper: {expected.paper_outcome}"
             + (" +osr" if expected.paper_osr else "")
             + (" (idle-only)" if expected.idle_only else "")
+            + (
+                " (rescued)"
+                if expected.osr_rescued and not paper_fidelity else ""
+            )
             + ("" if matches else "  ** MISMATCH **")
         )
     if outcome.abort_why:
@@ -236,6 +251,16 @@ def run_experience_sweep(**kwargs) -> List[AppUpdateOutcome]:
     return outcomes
 
 
+def _osr_cell(o: AppUpdateOutcome) -> str:
+    """The ``osr`` column: which OSR flavor touched this update's frames —
+    the in-loop rescue (remapped frames), stock identity OSR, or none."""
+    if o.result.osr_rescued:
+        return f"inloop:{o.result.extended_osr_frames}"
+    if o.result.succeeded and o.result.used_osr:
+        return f"stock:{o.result.osr_frames}"
+    return "-"
+
+
 def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
     applied = sum(1 for o in outcomes if o.result.succeeded)
     body_only = sum(1 for o in outcomes if o.body_only_supported and o.result.succeeded)
@@ -245,17 +270,23 @@ def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
     shrunk = sum(1 for o in outcomes if o.restricted_after < o.restricted_before)
     eligible = sum(1 for o in outcomes if o.bc_eligible)
     bypassed = sum(1 for o in outcomes if o.result.bypassed)
+    rescued = sum(1 for o in outcomes if o.result.osr_rescued)
+    rescue_note = (
+        f" ({rescued} rescued by in-loop OSR)" if rescued else ""
+    )
     lines = [
         f"Experience: {applied} of {len(outcomes)} updates applied "
-        f"(paper: 20 of 22); method-body-only systems could support "
-        f"{body_only} (paper: 9); dsu-lint predicted {predicted_aborts} of "
+        f"(paper: 20 of 22){rescue_note}; method-body-only systems could "
+        f"support {body_only} (paper: 9); dsu-lint predicted "
+        f"{predicted_aborts} of "
         f"{len(aborted)} runtime abort(s) statically "
         f"({agree}/{len(outcomes)} verdicts agree); semantic diff shrank "
         f"the restricted set on {shrunk} of {len(outcomes)} updates; "
         f"con-freeness: {eligible} of {len(outcomes)} bypass-eligible, "
         f"{bypassed} applied via immediate bypass",
         f"{'app':>10s} {'update':>16s} {'outcome':>9s} {'mechanism':>16s} "
-        f"{'why':>22s} {'predicted':>18s} {'bc':>7s} {'restr':>8s} "
+        f"{'why':>22s} {'predicted':>18s} {'bc':>7s} {'osr':>8s} "
+        f"{'restr':>8s} "
         f"{'rounds':>6s} {'pause(ms)':>10s} {'objs':>6s}  notes",
     ]
     for o in outcomes:
@@ -270,6 +301,7 @@ def render_experience_table(outcomes: Sequence[AppUpdateOutcome]) -> str:
         lines.append(
             f"{o.app:>10s} {update:>16s} {o.result.status:>9s} "
             f"{o.mechanism:>16s} {why:>22s} {predicted:>18s} {bc:>7s} "
+            f"{_osr_cell(o):>8s} "
             f"{restr:>8s} {o.retry_rounds + 1:>6d} {pause:>10s} "
             f"{o.result.objects_transformed:>6d}  {o.notes}"
         )

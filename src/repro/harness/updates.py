@@ -51,6 +51,8 @@ class AppUpdateOutcome:
             return "aborted"
         if self.result.bypassed:
             return "bypass"
+        if self.result.osr_rescued:
+            return f"inloop-osr({self.result.extended_osr_frames})"
         parts = []
         if self.result.used_return_barriers:
             parts.append("return-barrier")
@@ -168,6 +170,7 @@ class AppDriver:
         minimize: bool = True,
         lint: str = "off",
         bypass: str = "off",
+        inloop_osr: str = "auto",
     ) -> Dict[str, UpdateResult]:
         prepared = self.prepare(to_version, minimize=minimize)
         request = UpdateRequest(
@@ -177,6 +180,7 @@ class AppDriver:
             ),
             lint=lint,
             bypass=bypass,
+            inloop_osr=inloop_osr,
         )
         holder: Dict[str, UpdateResult] = {}
         holder["prepared"] = prepared  # type: ignore[assignment]

@@ -75,10 +75,14 @@ def osr_replace_all(vm: "VM", frames: Iterable[Frame]) -> int:
     return count
 
 
-def osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
+def osr_replace_mapped(
+    vm: "VM", frame: Frame, pc_map, locals_map, compensation=None
+) -> None:
     """Extended OSR (the paper's §3.5 future work, UpStare-style): replace a
-    frame whose *bytecode changed*, using a user-supplied mapping from old
-    yield-point pcs to new pcs and from old local slots to new slots.
+    frame whose *bytecode changed*, using a mapping — user-supplied or
+    proven by the static osrmap analysis — from old yield-point pcs to new
+    pcs and from old local slots to new slots. ``compensation`` seeds
+    new-in-new local slots with constant values after the move.
 
     The method entry must already carry the new bytecode. The operand stack
     is carried over verbatim; the new pc's verified stack shape must agree
@@ -91,14 +95,29 @@ def osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
         pc=frame.pc,
     )
     try:
-        _osr_replace_mapped(vm, frame, pc_map, locals_map)
+        _osr_replace_mapped(vm, frame, pc_map, locals_map, compensation)
     finally:
         vm.tracer.end(span)
     vm.metrics.inc("osr.frames_replaced")
 
 
-def _osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
+def _osr_replace_mapped(
+    vm: "VM", frame: Frame, pc_map, locals_map, compensation=None
+) -> None:
     entry = frame.code.entry
+    if not frame.code.is_base:
+        raise OSRError(
+            f"frame {entry.qualified_name} is opt-compiled "
+            f"(tier={frame.code.tier}); its instruction stream may contain "
+            f"inlined bodies the mapping knows nothing about"
+        )
+    if entry.bytecode_version - frame.entered_at_version != 1:
+        raise OSRError(
+            f"frame {entry.qualified_name} entered at bytecode version "
+            f"{frame.entered_at_version} but the entry is at "
+            f"{entry.bytecode_version}; the mapping only relates the "
+            f"immediately-replaced body to its successor"
+        )
     new_code = vm.jit.compile_base(entry)
     old_pc = frame.pc
     if old_pc not in pc_map:
@@ -121,6 +140,15 @@ def _osr_replace_mapped(vm: "VM", frame: Frame, pc_map, locals_map) -> None:
     new_locals = [0] * new_code.max_locals
     for old_slot, new_slot in locals_map.items():
         new_locals[new_slot] = frame.locals[old_slot]
+    # Compensation prologue: constant initializers for locals that exist
+    # only in the new body (disjoint from the mapped slots by construction).
+    for new_slot, value in (compensation or {}).items():
+        if not 0 <= new_slot < new_code.max_locals:
+            raise OSRError(
+                f"compensation slot {new_slot} out of range for "
+                f"{entry.qualified_name} (max_locals {new_code.max_locals})"
+            )
+        new_locals[new_slot] = value
     frame.code = new_code
     frame.pc = new_pc
     frame.locals = new_locals

@@ -523,12 +523,15 @@ class TestPredictionSupersetsRuntime:
     def test_bundled_aborts_are_the_predicted_ones(self):
         from repro.apps.registry import (
             APPS,
+            EXPECTED_OSR_RESCUED,
             STATIC_PREDICTED_ABORTS,
             update_pairs,
         )
         from repro.harness.updates import AppDriver
 
-        flagged = set()
+        flagged = set()          # paper-fidelity pass (no osrmap rescue)
+        flagged_default = set()  # default pass (osrmap pass on)
+        rescued = set()          # fully-planned osrmap verdicts
         for app in APPS:
             info = APPS[app]
             driver = AppDriver(
@@ -537,9 +540,21 @@ class TestPredictionSupersetsRuntime:
             )
             for from_version, to_version in update_pairs(app):
                 prepared = driver.prepare_pair(from_version, to_version)
+                fidelity = analyze_update(
+                    driver.classfiles(from_version), prepared,
+                    inloop_osr=False,
+                )
+                if fidelity.has_errors:
+                    flagged.add((app, from_version, to_version))
                 report = analyze_update(
                     driver.classfiles(from_version), prepared
                 )
                 if report.has_errors:
-                    flagged.add((app, from_version, to_version))
+                    flagged_default.add((app, from_version, to_version))
+                if report.osr_plans is not None and report.osr_plans.fully_planned:
+                    rescued.add((app, from_version, to_version))
+        # Without the rescue, errors land on exactly the paper's aborts.
         assert flagged == set(STATIC_PREDICTED_ABORTS)
+        # With it, both are fully planned and no update errors at all.
+        assert flagged_default == set()
+        assert rescued == set(EXPECTED_OSR_RESCUED)

@@ -154,10 +154,30 @@ class Main { static void main() { Loop.spin(); } }
         code = main([
             "update", str(v1), str(v2), "--at", "20",
             "--timeout-ms", "200", "--until-ms", "1500",
+            "--inloop-osr", "off",
         ])
         captured = capsys.readouterr()
         assert code == 1
         assert "aborted" in captured.err
+
+    def test_update_inloop_osr_rescues_the_spinner(self, tmp_path, capsys):
+        # Same doomed pair, but with the default in-loop OSR rescue on the
+        # engine remaps the spinning frame instead of aborting.
+        v1 = tmp_path / "s1.jm"
+        v2 = tmp_path / "s2.jm"
+        v1.write_text("""
+class Loop { static int n; static void spin() { while (true) { Sys.sleep(5); n = n + 1; if (n > 500) { Sys.halt(); } } } }
+class Main { static void main() { Loop.spin(); } }
+""")
+        v2.write_text(v1.read_text().replace("n = n + 1;", "n = n + 2;"))
+        code = main([
+            "update", str(v1), str(v2), "--at", "20",
+            "--timeout-ms", "200", "--until-ms", "1500",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[update] applied" in captured.err
+        assert "will OSR" in captured.err
 
     def test_update_strict_lint_refuses_doomed_update(self, tmp_path, capsys):
         v1 = tmp_path / "s1.jm"
@@ -170,7 +190,7 @@ class Main { static void main() { Loop.spin(); } }
         code = main([
             "update", str(v1), str(v2), "--at", "20",
             "--timeout-ms", "200", "--until-ms", "1500",
-            "--dsu-lint", "strict",
+            "--dsu-lint", "strict", "--inloop-osr", "off",
         ])
         captured = capsys.readouterr()
         assert code == 1
@@ -207,18 +227,31 @@ class TestDsuLint:
 
     def test_doomed_pair_exits_nonzero_with_suggestion(self, doomed_files,
                                                        capsys):
+        # Paper-fidelity mode: without the osrmap pass the spinner is a
+        # hard predicted abort.
         old, new = doomed_files
-        assert main(["dsu-lint", old, new]) == 1
+        assert main(["dsu-lint", old, new, "--paper-fidelity"]) == 1
         out = capsys.readouterr().out
         assert "DSU-SP01" in out
         assert "blacklist Loop.spin()V" in out
         assert "predicted to ABORT (safepoint/timeout)" in out
 
+    def test_doomed_pair_is_planned_by_default(self, doomed_files, capsys):
+        # Default mode: the osrmap pass proves a remap for the spinner, the
+        # DSU-SP01 error downgrades to a "will OSR" warning, and the
+        # verdict flips to "lands".
+        old, new = doomed_files
+        assert main(["dsu-lint", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "will OSR (plan verified" in out
+        assert "DSU-OM00" in out
+        assert "predicted to ABORT" not in out
+
     def test_json_output_is_machine_readable(self, doomed_files, capsys):
         import json
 
         old, new = doomed_files
-        assert main(["dsu-lint", old, new, "--json"]) == 1
+        assert main(["dsu-lint", old, new, "--json", "--paper-fidelity"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["update"] == "1.0->2.0"
         assert payload["predicted_abort"] == "safepoint/timeout"
@@ -228,16 +261,44 @@ class TestDsuLint:
         )
         assert "Loop.spin()V" in payload["predicted_restricted"]
 
+    def test_json_output_carries_osr_plans_by_default(self, doomed_files,
+                                                      capsys):
+        import json
+
+        old, new = doomed_files
+        assert main(["dsu-lint", old, new, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predicted_abort"] == ""
+        assert payload["errors"] == 0
+        plans = payload["osr_plans"]
+        assert plans["fully_planned"]
+        assert ["Loop", "spin", "()V"] in [
+            p["method"] for p in plans["plans"]
+        ]
+        assert not plans["refusals"]
+
     def test_app_pair_mode_finds_the_jetty_abort(self, capsys):
         code = main([
             "dsu-lint", "--app", "jetty",
             "--from-version", "5.1.2", "--to-version", "5.1.3",
+            "--paper-fidelity",
         ])
         out = capsys.readouterr().out
         assert code == 1
         assert "jetty 5.1.2->5.1.3" in out
         assert "DSU-SP01" in out
         assert "PoolThread.run" in out
+
+    def test_app_pair_mode_plans_the_jetty_rescue(self, capsys):
+        code = main([
+            "dsu-lint", "--app", "jetty",
+            "--from-version", "5.1.2", "--to-version", "5.1.3",
+            "--osr-plan",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PoolThread.run" in out
+        assert "plan verified" in out
 
     def test_check_expected_accepts_a_predicted_abort(self, capsys):
         code = main([

@@ -101,9 +101,27 @@ class TestRegistry:
         assert {(o.app, o.to_version) for o in aborts} == {
             ("jetty", "5.1.3"), ("javaemail", "1.3"),
         }
+        # Both paper aborts are rescued by the in-loop OSR extension: the
+        # paper outcome stays "aborted", this system's expected status is
+        # "applied".
+        assert all(o.osr_rescued for o in aborts)
+        assert all(o.expected_status == "applied" for o in aborts)
+        rescued = [o for o in EXPECTED_OUTCOMES if o.osr_rescued]
+        assert rescued == aborts
         assert expected_outcome("javaemail", "1.3.1", "1.3.2").paper_osr
         assert expected_outcome("crossftp", "1.07", "1.08").idle_only
         assert expected_outcome("jetty", "5.1.0", "5.1.1").paper_outcome == "applied"
+
+    def test_expected_osr_rescued_matches_predicted_aborts(self):
+        from repro.apps.registry import (
+            EXPECTED_OSR_RESCUED,
+            STATIC_PREDICTED_ABORTS,
+            expected_osr_rescued,
+        )
+
+        assert EXPECTED_OSR_RESCUED == STATIC_PREDICTED_ABORTS
+        assert expected_osr_rescued("jetty", "5.1.2", "5.1.3")
+        assert not expected_osr_rescued("crossftp", "1.07", "1.08")
 
     def test_update_summary_rows_shape(self):
         rows = update_summary_rows("crossftp")
@@ -151,14 +169,38 @@ class TestStaticPrediction:
         ("javaemail", "1.2.4", "1.3"),
     ])
     def test_runtime_abort_was_predicted(self, app, from_version, to_version):
+        # Paper-fidelity mode: the rescue is off, the abort happens, and
+        # the analyzer (also run without the osrmap pass) predicted it.
         outcome = run_single_update(app, from_version, to_version,
-                                    timeout_ms=400)
+                                    timeout_ms=400, paper_fidelity=True)
         assert not outcome.result.succeeded
         assert outcome.predicted_abort == "safepoint/timeout"
         assert outcome.prediction_matches
         text = render_experience_table([outcome])
         assert "safepoint/timeout" in text
         assert "predicted 1 of 1 runtime abort(s) statically" in text
+
+    @pytest.mark.parametrize("app,from_version,to_version", [
+        ("jetty", "5.1.2", "5.1.3"),
+        ("javaemail", "1.2.4", "1.3"),
+    ])
+    def test_rescued_update_lands_and_was_predicted_to(
+        self, app, from_version, to_version
+    ):
+        # Default mode: the osrmap pass plans the rescue, the lint verdict
+        # flips to "lands", and the runtime agrees via in-loop OSR.
+        outcome = run_single_update(app, from_version, to_version,
+                                    timeout_ms=400)
+        assert outcome.result.succeeded
+        assert outcome.result.osr_rescued
+        assert outcome.predicted_abort == ""
+        assert outcome.prediction_matches
+        assert outcome.sessions_failed == 0
+        assert outcome.mechanism.startswith("inloop-osr(")
+        assert "(rescued)" in outcome.notes
+        text = render_experience_table([outcome])
+        assert "rescued by in-loop OSR" in text
+        assert f"inloop:{outcome.result.extended_osr_frames}" in text
 
 
 class TestEnduranceHarness:
@@ -188,17 +230,35 @@ class TestEnduranceHarness:
                 assert row.status == "applied"
                 assert row.pause_ms == 0.0
                 assert row.safepoint_rounds == 0
-        # The §4 abort restarts the server onto the target release.
+        # The §4 abort is rescued in place by in-loop OSR: every
+        # transition applies, the long-lived server never restarts.
+        assert all(row.status == "applied" for row in rows)
+        assert not any(row.restarted for row in rows)
+        rescued = [row for row in rows if row.osr_rescued]
+        assert [(r.from_version, r.to_version) for r in rescued] == [
+            ("1.2.4", "1.3")
+        ]
+        assert rescued[0].mode == "inloop-osr"
+        report = endurance_report(rows)
+        assert report["problems"] == {}
+        assert report["bypassed"] == 3
+        assert report["osr_rescued"] == 1
+        table = render_endurance_table(rows)
+        assert "zero-pause immediate bypass" in table
+        assert "in place via in-loop OSR" in table
+
+    def test_javaemail_paper_fidelity_stream_restarts_on_the_abort(self):
+        from repro.harness.endurance import endurance_report, run_endurance
+
+        rows = run_endurance("javaemail", paper_fidelity=True)
         aborted = [row for row in rows if row.status != "applied"]
         assert [(r.from_version, r.to_version) for r in aborted] == [
             ("1.2.4", "1.3")
         ]
         assert aborted[0].restarted
+        assert not any(row.osr_rescued for row in rows)
         report = endurance_report(rows)
         assert report["problems"] == {}
-        assert report["bypassed"] == 3
-        table = render_endurance_table(rows)
-        assert "zero-pause immediate bypass" in table
 
     def test_protocol_mismatch_is_a_problem(self):
         from repro.harness.endurance import TransitionRow

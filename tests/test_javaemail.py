@@ -102,11 +102,12 @@ class TestMailFlow:
 
 class TestUpdates:
     def _apply(self, from_version, to_version, request_at=300, timeout_ms=3_000,
-               until_ms=6_000):
+               until_ms=6_000, inloop_osr="auto"):
         driver = make_driver().boot(from_version)
         # light traffic before the update
         smtp, pop = send_and_fetch(driver)
-        holder = driver.request_update_at(request_at, to_version, timeout_ms)
+        holder = driver.request_update_at(request_at, to_version, timeout_ms,
+                                          inloop_osr=inloop_osr)
         driver.run(until_ms=until_ms)
         return driver, holder["result"], (smtp, pop)
 
@@ -121,10 +122,29 @@ class TestUpdates:
         assert result.succeeded, result.reason
         assert all(s.succeeded for s in sessions)
 
-    def test_13_config_rework_aborts(self):
-        # The processors' run() loops change; they are never off-stack.
+    def test_13_config_rework_rescued_by_inloop_osr(self):
+        # The processors' run() loops change and are never off-stack (the
+        # paper's §4.3 abort) — but the osrmap pass proves remaps for all
+        # of them, so the engine OSRs the spinning frames in place.
         driver, result, sessions = self._apply(
             "1.2.4", "1.3", timeout_ms=1_000, until_ms=5_000
+        )
+        assert result.succeeded, result.reason
+        assert result.osr_rescued
+        assert result.extended_osr_frames > 0
+        assert not result.osr_plans_refused
+        # Mail flows on the NEW version after the in-place rescue.
+        smtp2 = ScriptedSession(
+            driver.vm, SMTP_PORT,
+            send_mail_script("bob@example.org", "alice@example.org", ["post-rescue"]),
+        ).start(5_100)
+        driver.run(until_ms=7_000)
+        assert smtp2.succeeded, smtp2.failed
+
+    def test_13_paper_fidelity_aborts(self):
+        driver, result, sessions = self._apply(
+            "1.2.4", "1.3", timeout_ms=1_000, until_ms=5_000,
+            inloop_osr="off",
         )
         assert result.status == "aborted"
         assert "timeout" in result.reason

@@ -75,7 +75,7 @@ class TestHttpServing:
 
 class TestUpdates:
     def _apply(self, from_version, to_version, request_at=300, timeout_ms=3_000,
-               until_ms=5_000, load=True):
+               until_ms=5_000, load=True, inloop_osr="auto"):
         driver = make_driver().boot(from_version)
         clients = []
         if load:
@@ -85,7 +85,8 @@ class TestUpdates:
                     HttpConnectionClient(driver.vm, HTTP_PORT, "/file.bin", 3)
                     .start(50 + 120 * i)
                 )
-        holder = driver.request_update_at(request_at, to_version, timeout_ms)
+        holder = driver.request_update_at(request_at, to_version, timeout_ms,
+                                          inloop_osr=inloop_osr)
         driver.run(until_ms=until_ms)
         return driver, holder["result"], clients
 
@@ -99,9 +100,31 @@ class TestUpdates:
         assert result.succeeded, result.reason
         assert all(c.succeeded for c in clients)
 
-    def test_513_never_reaches_safe_point(self):
+    def test_513_rescued_by_inloop_osr(self):
+        # The paper's §4.2 abort: acceptSocket/PoolThread.run never leave
+        # the stack. The osrmap pass proves a frame remap for both, so
+        # after the retry budget burns down the engine OSRs the blocking
+        # loop frames onto the new bodies and the update lands in place.
         driver, result, clients = self._apply(
             "5.1.2", "5.1.3", timeout_ms=1_000, until_ms=5_000
+        )
+        assert result.succeeded, result.reason
+        assert result.osr_rescued
+        assert result.extended_osr_frames > 0
+        assert result.osr_plans_verified > 0
+        assert not result.osr_plans_refused
+        assert all(c.succeeded for c in clients), [c.failed for c in clients]
+        # server healthy on the NEW version
+        late = HttpConnectionClient(driver.vm, HTTP_PORT, "/file.bin", 2).start(
+            driver.vm.clock.now_ms + 50
+        )
+        driver.run(until_ms=driver.vm.clock.now_ms + 1_500)
+        assert late.succeeded, late.failed
+
+    def test_513_paper_fidelity_never_reaches_safe_point(self):
+        driver, result, clients = self._apply(
+            "5.1.2", "5.1.3", timeout_ms=1_000, until_ms=5_000,
+            inloop_osr="off",
         )
         assert result.status == "aborted"
         assert "timeout" in result.reason

@@ -1,0 +1,183 @@
+"""Runtime tests for the in-loop OSR rescue: the extended mapped OSR
+primitive's refusal paths (``repro.vm.osr``), the engine's end-of-budget
+rescue, differential execution (a rescued loop finishes with exactly the
+output of a fresh new-version run), and rollback under an injected OSR
+fault (the original spinning frame is restored by the transaction)."""
+
+import types
+
+import pytest
+
+from repro.dsu.engine import UpdateRequest
+from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.safepoint import RetryPolicy
+from repro.vm.osr import OSRError, can_osr, osr_replace, osr_replace_mapped
+
+from .dsu_helpers import UpdateFixture
+
+
+SPIN_V1 = """
+class Loop {
+    static int n;
+    static void spin() {
+        while (true) {
+            Sys.sleep(5);
+            n = n + 1;
+            if (n >= 120) { Sys.print("done:" + n + ":" + Loop.tag()); Sys.halt(); }
+        }
+    }
+    static string tag() { return "v1"; }
+}
+class Main { static void main() { Loop.spin(); } }
+"""
+
+# Per-iteration semantics preserved (n still advances by one), but the
+# bytecode changes (category 1) and the version tag flips: a rescued run
+# must finish with the *new* tag and the same final count.
+SPIN_V2 = SPIN_V1.replace(
+    "n = n + 1;", "n = n + 2;\n            n = n - 1;"
+).replace('return "v1";', 'return "v2";')
+
+
+def spin_fixture():
+    fixture = UpdateFixture(SPIN_V1).start()
+    fixture.run(until_ms=60)  # enter the loop
+    return fixture
+
+
+def spin_frame(fixture):
+    for thread in fixture.vm.threads:
+        for frame in thread.frames:
+            if frame.code.entry.qualified_name == "Loop.spin()V":
+                return frame
+    raise AssertionError("no spinning frame found")
+
+
+def submit_rescued_update(fixture, at_ms=100.0, timeout_ms=60.0,
+                          inloop_osr="auto", plan=None):
+    prepared = fixture.prepare(SPIN_V2)
+    if plan is not None:
+        fixture.engine.fault_injector = FaultInjector(plan)
+    holder = {}
+    request = UpdateRequest(
+        prepared, policy=RetryPolicy(timeout_ms=timeout_ms),
+        inloop_osr=inloop_osr,
+    )
+    fixture.vm.events.schedule(
+        at_ms, lambda: holder.update(result=fixture.engine.submit(request))
+    )
+    return holder
+
+
+class TestMappedOsrRefusals:
+    """osr_replace_mapped must refuse rather than corrupt a frame."""
+
+    def test_opt_tier_frame_refused(self):
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        entry = frame.code.entry
+        frame.code = fixture.vm.jit.compile_opt(entry)
+        with pytest.raises(OSRError, match="opt-compiled"):
+            osr_replace_mapped(fixture.vm, frame, {frame.pc: frame.pc}, {})
+
+    def test_stale_version_refused(self):
+        # No update installed: the entry is still at the frame's own
+        # bytecode version, so there is no successor body to map onto.
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        assert frame.code.entry.bytecode_version == frame.entered_at_version
+        with pytest.raises(OSRError, match="immediately-replaced"):
+            osr_replace_mapped(fixture.vm, frame, {frame.pc: frame.pc}, {})
+
+    def test_missing_pc_mapping_refused(self):
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        frame.entered_at_version -= 1  # simulate a one-version-old frame
+        with pytest.raises(OSRError, match="no pc mapping"):
+            osr_replace_mapped(fixture.vm, frame, {}, {})
+
+    def test_unreachable_mapped_pc_refused(self):
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        frame.entered_at_version -= 1
+        with pytest.raises(OSRError, match="unreachable"):
+            osr_replace_mapped(fixture.vm, frame, {frame.pc: 999}, {})
+
+    def test_compensation_slot_out_of_range_refused(self):
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        frame.entered_at_version -= 1
+        with pytest.raises(OSRError, match="out of range"):
+            osr_replace_mapped(
+                fixture.vm, frame, {frame.pc: frame.pc}, {}, {99: 1}
+            )
+
+    def test_identity_osr_length_mismatch_refused(self):
+        # Stock (category-2) OSR relies on the identity mapping; a
+        # baseline recompilation that changes the instruction stream's
+        # length voids it and must be refused.
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        assert can_osr(frame)
+        real = fixture.vm.jit.compile_base(frame.code.entry)
+        fixture.vm.jit.compile_base = lambda entry: types.SimpleNamespace(
+            instructions=real.instructions[:-1]
+        )
+        with pytest.raises(OSRError, match="changed length"):
+            osr_replace(fixture.vm, frame)
+
+
+class TestEngineRescue:
+    def test_retry_budget_exhausts_then_rescues_in_place(self):
+        fixture = spin_fixture()
+        holder = submit_rescued_update(fixture)
+        fixture.run(until_ms=3_000)
+        result = holder["result"]
+        assert result.succeeded, result.reason
+        assert result.osr_rescued
+        assert result.extended_osr_frames == 1
+        assert result.osr_plans_verified >= 1
+        assert result.osr_plans_refused == []
+        assert result.retry_rounds >= 0
+        assert fixture.vm.metrics.counters["dsu.inloop_osr_rescues"].value == 1
+
+    def test_paper_fidelity_mode_still_aborts(self):
+        fixture = spin_fixture()
+        holder = submit_rescued_update(fixture, inloop_osr="off")
+        fixture.run(until_ms=3_000)
+        result = holder["result"]
+        assert result.status == "aborted"
+        assert "timeout" in result.reason
+        assert not result.osr_rescued
+
+    def test_differential_execution_matches_fresh_new_version_run(self):
+        # A fresh run of the NEW program from the same initial state.
+        fresh = UpdateFixture(SPIN_V2).start()
+        fresh.run(until_ms=5_000)
+        assert fresh.console == ["done:120:v2"]
+
+        # The rescued run: boot OLD, remap the live loop frame mid-flight.
+        fixture = spin_fixture()
+        holder = submit_rescued_update(fixture)
+        fixture.run(until_ms=5_000)
+        assert holder["result"].osr_rescued
+        assert fixture.console == fresh.console
+
+    def test_injected_osr_fault_rolls_the_frame_back(self):
+        fixture = spin_fixture()
+        frame = spin_frame(fixture)
+        old_code = frame.code
+        old_version = frame.entered_at_version
+        holder = submit_rescued_update(fixture, plan=FaultPlan(osr_fail=True))
+        fixture.run(until_ms=5_000)
+        result = holder["result"]
+        assert result.status == "aborted"
+        assert result.rolled_back
+        assert not result.osr_rescued
+        # The transaction restored the original spinning frame: same code
+        # object, same bytecode version, and the loop runs to completion
+        # on the OLD program exactly as if the update never happened.
+        frame = spin_frame(fixture)
+        assert frame.code is old_code
+        assert frame.entered_at_version == old_version
+        assert fixture.console == ["done:120:v1"]
