@@ -23,6 +23,7 @@ Run:  python examples/update_mechanics_tour.py
 from repro.api import (
     VM,
     UpdateEngine,
+    UpdatePolicy,
     UpdateRequest,
     RetryPolicy,
     compile_source,
@@ -46,7 +47,10 @@ def run_scenario(title, v1_source, v2_source, request_at, timeout_ms=1_000,
         prepared.active_method_mappings[(class_name, method_name, descriptor)] = (
             derive_identity_mapping(old_method, new_method)
         )
-    request = UpdateRequest(prepared, policy=RetryPolicy(timeout_ms=timeout_ms))
+    request = UpdateRequest(
+        prepared,
+        policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=timeout_ms)),
+    )
     vm.events.schedule(request_at, lambda: engine.submit(request))
     vm.run(until_ms=until_ms)
     result = engine.history[-1]

@@ -1,15 +1,15 @@
 """The stable programmatic facade for driving dynamic updates.
 
 Everything a host program needs lives here: compile two program versions,
-diff them into a :class:`PreparedUpdate`, wrap it in an
-:class:`UpdateRequest` describing *how* the update should be attempted
-(retry policy, lint pre-flight, tracer), and hand it to
-:meth:`UpdateEngine.submit`.
+diff them into a :class:`PreparedUpdate`, pair it with an
+:class:`UpdatePolicy` describing *how* the update should be attempted
+(retry budget, lint/bypass/OSR modes, eager vs lazy transformation), and
+hand the :class:`UpdateRequest` to :meth:`UpdateEngine.submit`.
 
 Typical use::
 
     from repro.api import (
-        VM, UpdateEngine, UpdateRequest, RetryPolicy,
+        VM, UpdateEngine, UpdateRequest, UpdatePolicy, RetryPolicy,
         compile_source, prepare_update,
     )
 
@@ -21,20 +21,30 @@ Typical use::
     engine = UpdateEngine(vm)
     request = UpdateRequest(
         prepare_update(v1, v2, "1.0", "2.0"),
-        policy=RetryPolicy(timeout_ms=15_000.0, retries=2),
-        lint="warn",
+        policy=UpdatePolicy(
+            retry=RetryPolicy(timeout_ms=15_000.0, retries=2),
+            lint="warn",
+        ),
     )
     result = engine.submit(request)
     vm.run(until_ms=1_000)
     assert result.succeeded
+
+Presets cover the common shapes — ``UpdatePolicy.paper()`` (strict paper
+fidelity: stop-the-world eager transformation), ``UpdatePolicy.fast()``
+(zero-pause bypass when con-free, in-loop OSR rescue, lazy on-first-touch
+transformation) and ``UpdatePolicy.safe()`` (strict static lint, eager) —
+and every preset takes keyword overrides, e.g.
+``UpdatePolicy.fast(transform="eager")``. ``Policy`` is a short alias.
 
 Observability rides along: every ``submit`` emits a phase-attributed span
 tree on ``vm.tracer`` and counters/histograms on ``vm.metrics``; export
 them with :func:`write_chrome_trace` / :meth:`~repro.obs.Metrics.snapshot`.
 
 :class:`UpdateRequest`/:meth:`~UpdateEngine.submit` is the only entry
-point — the legacy ``request_update`` keyword-argument shim has been
-removed.
+point. The pre-PR-9 per-request mode kwargs (``lint=``, ``bypass=``,
+``inloop_osr=``, ``hold_transaction=``, bare ``policy=RetryPolicy(...)``)
+still work for one release behind :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from .dsu.engine import (
     UpdateRequest,
     UpdateResult,
 )
+from .dsu.policy import Policy, UpdatePolicy
 from .dsu.safepoint import RetryPolicy
 from .dsu.specification import UpdateSpecification
 from .dsu.upt import (
@@ -72,6 +83,8 @@ __all__ = [
     "UpdateEngine",
     "UpdateRequest",
     "UpdateResult",
+    "UpdatePolicy",
+    "Policy",
     "RetryPolicy",
     "UpdateSpecification",
     "PreparedUpdate",

@@ -109,8 +109,7 @@ def cmd_update(args) -> int:
     vm = VM(heap_cells=args.heap_cells)
     vm.boot(old)
     vm.start_main(args.main)
-    engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier,
-                          heap_grow=args.dsu_heap_grow)
+    engine = UpdateEngine(vm, auto_read_barrier=args.auto_read_barrier)
     overrides = None
     if args.transformers:
         overrides = _parse_transformer_overrides(_read(args.transformers))
@@ -127,18 +126,23 @@ def cmd_update(args) -> int:
         args.dsu_timeout_ms if args.dsu_timeout_ms is not None
         else args.timeout_ms
     )
+    from .dsu.policy import UpdatePolicy
     from .dsu.safepoint import RetryPolicy
 
     try:
-        # Validate the retry flags now, not when the scheduled request fires.
-        policy = RetryPolicy(timeout_ms, args.dsu_retries, args.dsu_backoff)
+        # Validate the policy flags now, not when the scheduled request fires.
+        policy = UpdatePolicy(
+            retry=RetryPolicy(timeout_ms, args.dsu_retries, args.dsu_backoff),
+            lint=args.dsu_lint,
+            bypass=args.bypass,
+            inloop_osr="off" if args.paper_fidelity else args.inloop_osr,
+            transform=args.dsu_transform,
+            heap_grow=args.dsu_heap_grow,
+        )
     except ValueError as bad:
         print(f"error: {bad}", file=sys.stderr)
         return 2
-    request = UpdateRequest(
-        prepared, policy=policy, lint=args.dsu_lint, bypass=args.bypass,
-        inloop_osr="off" if args.paper_fidelity else args.inloop_osr,
-    )
+    request = UpdateRequest(prepared, policy=policy)
     vm.events.schedule(args.at, lambda: engine.submit(request))
     vm.run(until_ms=args.until_ms, max_instructions=args.max_instructions)
     if args.trace_out:
@@ -159,6 +163,9 @@ def cmd_update(args) -> int:
         if result.bypassed:
             detail += (f" [immediate bypass, "
                        f"{result.bypass_stale_frames} stale frame(s)]")
+        if result.transform_mode == "lazy":
+            detail += (f" [lazy epoch, <= {result.lazy_pending_upper} "
+                       f"object(s) transformed on touch/idle]")
     else:
         detail = (f" [phase={result.failed_phase} code={result.reason_code}"
                   f" rolled_back={result.rolled_back}"
@@ -238,6 +245,22 @@ def cmd_endurance(args) -> int:
     if args.check:
         forwarded.append("--check")
     return endurance_main(forwarded)
+
+
+def cmd_lazyheap(args) -> int:
+    """Lazy vs eager pause scaling plus the end-state differential."""
+    from .harness.lazyheap import main as lazyheap_main
+
+    forwarded: List[str] = ["--out", args.out]
+    if args.sizes is not None:
+        forwarded += ["--sizes", args.sizes]
+    if args.quick:
+        forwarded.append("--quick")
+    if args.no_differential:
+        forwarded.append("--no-differential")
+    if args.check:
+        forwarded.append("--check")
+    return lazyheap_main(forwarded)
 
 
 def _lint_superset_gate(boot_info, prepared, report):
@@ -589,6 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "frame remaps for restricted methods that "
                              "block forever and applies them after the "
                              "retry budget burns down, instead of aborting")
+    update.add_argument("--dsu-transform", choices=("eager", "lazy"),
+                        default="eager",
+                        help="object transformation mode: 'eager' runs the "
+                             "paper's stop-the-world update collection "
+                             "inside the pause; 'lazy' installs the new "
+                             "code immediately and transforms changed-class "
+                             "objects on first touch behind a read barrier, "
+                             "draining the remainder in scheduler idle "
+                             "slices (pause no longer scales with heap "
+                             "size)")
     update.add_argument("--paper-fidelity", action="store_true",
                         help="disable the in-loop OSR rescue (forces "
                              "--inloop-osr off): blocked-forever updates "
@@ -732,6 +765,32 @@ def build_parser() -> argparse.ArgumentParser:
                                 "OSR-rescued set differing from the "
                                 "registry, or a traffic protocol mismatch")
     endurance.set_defaults(fn=cmd_endurance)
+
+    lazyheap = sub.add_parser(
+        "lazyheap",
+        help="lazy vs eager transformation: update-pause scaling on a "
+             "growing heap (the lazy pause must stay flat while the "
+             "eager pause grows with the object count) plus an "
+             "eager-vs-lazy end-state differential over all bundled "
+             "updates (writes BENCH_lazy.json)",
+    )
+    lazyheap.add_argument("--out", default="BENCH_lazy.json",
+                          help="where to write the JSON artifact")
+    lazyheap.add_argument("--sizes", default=None, metavar="N,N,...",
+                          help="comma-separated object counts for the "
+                               "pause curve (default: 10000,100000,1000000)")
+    lazyheap.add_argument("--quick", action="store_true",
+                          help="scaled-down curve sizes for smoke runs")
+    lazyheap.add_argument("--no-differential", action="store_true",
+                          help="skip the 22-update eager-vs-lazy "
+                               "end-state comparison")
+    lazyheap.add_argument("--check", action="store_true",
+                          help="exit non-zero unless every lazy pause "
+                               "stays within 2x of the empty-heap pause, "
+                               "the eager pause grows >= 50x across the "
+                               "sweep, and every bundled update reaches "
+                               "the same end state in both modes")
+    lazyheap.set_defaults(fn=cmd_lazyheap)
     return parser
 
 

@@ -19,18 +19,29 @@ Coordinates the whole dynamic update (paper §3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+import warnings
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple, Union
 
 from ..bytecode.classfile import CLINIT_NAME, ClassFile
 from ..obs import Tracer
 from ..vm.classloader import ClassLoadError
 from ..vm.gc import GCStats
-from ..vm.heap import HEAP_BASE, HeapPreflightError, OutOfMemoryError
+from ..vm.heap import (
+    HEADER_STATUS,
+    HEADER_TIB,
+    HEAP_BASE,
+    NULL,
+    HeapPreflightError,
+    OutOfMemoryError,
+)
 from ..vm.machinecode import MethodEntry
+from ..vm.objectmodel import VMTrap
 from ..vm.osr import OSRError, osr_replace_all, osr_replace_mapped
 from ..vm.rvmclass import RVMClass
 from .faults import FaultInjector, InjectedFault, VMCrash
+from .policy import UpdatePolicy
 from .safepoint import (
     RestrictedSets,
     RetryPolicy,
@@ -197,13 +208,28 @@ class UpdateResult:
     phase_ms: Dict[str, float] = field(default_factory=dict)
     objects_transformed: int = 0
     classes_installed: int = 0
+    #: ``"eager"`` or ``"lazy"`` for safe-point applies (the requested
+    #: :attr:`UpdatePolicy.transform` mode); ``""`` for bypass applies and
+    #: pre-install aborts. Lazy applies defer the update collection and the
+    #: object transformers out of the pause into an epoch drained by the
+    #: read barrier and the idle-time sweep.
+    transform_mode: str = ""
+    #: upper bound on changed-class objects left untransformed behind the
+    #: lazy epoch's read barrier at apply time (0 for eager applies)
+    lazy_pending_upper: int = 0
     requested_at_ms: float = 0.0
     finished_at_ms: float = 0.0
-    #: retained pre-update snapshot (``UpdateRequest.hold_transaction``):
+    #: retained pre-update snapshot (``UpdatePolicy.hold_transaction``):
     #: the update applied, but the caller may still
     #: :meth:`UpdateEngine.rollback_applied` during a verification window.
     #: ``None`` once committed, rolled back, or when not requested.
     transaction: Optional[UpdateTransaction] = field(
+        default=None, repr=False, compare=False
+    )
+    #: the lazy epoch retained alongside a held transaction so
+    #: :meth:`UpdateEngine.rollback_applied` can zero its forwarding words
+    #: exactly; ``None`` once committed, rolled back, or for eager applies
+    lazy_epoch: Optional["LazyEpoch"] = field(
         default=None, repr=False, compare=False
     )
 
@@ -233,49 +259,125 @@ class UpdateResult:
 class UpdateRequest:
     """One dynamic-update submission — the :mod:`repro.api` unit of work.
 
-    Collapses the kwargs sprawl (``timeout_ms``/``retries``/``backoff``/
-    ``lint`` duplicated across the CLI, the harness and the microbench)
-    into a single object consumed by :meth:`UpdateEngine.submit`.
+    The *what* is the :class:`~repro.dsu.upt.PreparedUpdate`; the *how* is
+    a single typed :class:`~repro.dsu.policy.UpdatePolicy` (retry budget,
+    lint/bypass/in-loop-OSR modes, eager vs lazy transformation, held
+    verification windows, heap growth) — see its presets
+    ``UpdatePolicy.paper()`` / ``.fast()`` / ``.safe()``.
+
+    The pre-PR-9 mode kwargs (``lint=``, ``bypass=``, ``inloop_osr=``,
+    ``hold_transaction=``, and ``policy=RetryPolicy(...)``) survive for
+    one release as :class:`DeprecationWarning` shims that fold into the
+    policy; after construction the attributes always reflect the
+    effective policy values.
     """
 
     prepared: PreparedUpdate
-    #: safe-point acquisition schedule (first window, retries, backoff)
-    policy: RetryPolicy = field(default_factory=RetryPolicy)
-    #: ``"off"`` | ``"warn"`` | ``"strict"`` — the dsu-lint pre-flight mode
-    lint: str = "off"
-    #: ``"off"`` | ``"auto"`` | ``"require"`` — the immediate-bypass mode.
-    #: ``auto`` runs the con-freeness classifier and applies the update
-    #: with zero pause when it is bypass-eligible, falling back to the
-    #: safe-point path otherwise; ``require`` aborts up front instead of
-    #: falling back (reason ``not-con-free``).
-    bypass: str = "off"
+    #: how to apply the update — an :class:`UpdatePolicy`. Passing a bare
+    #: :class:`RetryPolicy` here is the deprecated pre-PR-9 spelling and
+    #: is wrapped into ``UpdatePolicy(retry=...)`` with a warning.
+    policy: Optional[Union[UpdatePolicy, RetryPolicy]] = None
     #: optional tracer override: when set, the VM's tracer is replaced so
     #: the whole update (and everything the VM does around it) lands in
     #: this trace instead of the default per-VM one
     tracer: Optional[Tracer] = None
-    #: keep the pre-update transaction snapshot alive after a successful
-    #: apply (canary verification): the caller must end the window with
-    #: :meth:`UpdateEngine.commit_applied` or
-    #: :meth:`UpdateEngine.rollback_applied`. While held, ordinary GC
-    #: stays disabled — a collection would evacuate objects out from under
-    #: the snapshot's heap image.
-    hold_transaction: bool = False
-    #: ``"off"`` | ``"auto"`` — the in-loop OSR rescue mode. ``auto`` runs
-    #: the static osrmap analysis at submit time and, when the retry
-    #: budget burns down with the world still blocked, remaps the live
-    #: loop frames of changed methods onto the new bodies using the
-    #: verified plans — inside the update transaction — instead of
-    #: aborting. ``off`` reproduces the paper's behavior (the two §4
-    #: aborts stay aborts).
-    inloop_osr: str = "off"
+    #: deprecated shims — pass these on :class:`UpdatePolicy` instead.
+    #: Whether a held window pins ordinary GC depends on the snapshot
+    #: scope, not on holding per se: a full eager snapshot holds heap
+    #: addresses and pins collection; a code-only bypass snapshot and a
+    #: lazy epoch's forwarding log do not need the heap image frozen, but
+    #: the lazy window still pins GC because rollback truncates the heap
+    #: to the snapshot bump pointer.
+    lint: Optional[str] = None
+    bypass: Optional[str] = None
+    hold_transaction: Optional[bool] = None
+    inloop_osr: Optional[str] = None
 
     def __post_init__(self):
-        if self.lint not in ("off", "warn", "strict"):
-            raise ValueError(f"unknown lint mode {self.lint!r}")
-        if self.bypass not in ("off", "auto", "require"):
-            raise ValueError(f"unknown bypass mode {self.bypass!r}")
-        if self.inloop_osr not in ("off", "auto"):
-            raise ValueError(f"unknown inloop_osr mode {self.inloop_osr!r}")
+        policy = self.policy
+        if policy is None:
+            policy = UpdatePolicy()
+        elif isinstance(policy, RetryPolicy):
+            warnings.warn(
+                "UpdateRequest(policy=RetryPolicy(...)) is deprecated; "
+                "pass UpdatePolicy(retry=RetryPolicy(...))",
+                DeprecationWarning, stacklevel=3,
+            )
+            policy = UpdatePolicy(retry=policy)
+        overrides = {}
+        for name in ("lint", "bypass", "inloop_osr", "hold_transaction"):
+            value = getattr(self, name)
+            if value is not None:
+                warnings.warn(
+                    f"UpdateRequest({name}=...) is deprecated; set "
+                    f"UpdatePolicy({name}=...) instead",
+                    DeprecationWarning, stacklevel=3,
+                )
+                overrides[name] = value
+        if overrides:
+            policy = replace(policy, **overrides)
+        self.policy = policy
+        # Mirror the effective modes so existing readers keep working.
+        self.lint = policy.lint
+        self.bypass = policy.bypass
+        self.inloop_osr = policy.inloop_osr
+        self.hold_transaction = policy.hold_transaction
+
+
+@dataclass
+class LazyEpoch:
+    """One lazy-transformation epoch: the window between a lazy apply and
+    the moment every changed-class object has been transformed.
+
+    The apply installs the new class metadata at the pause but runs **no**
+    update collection: objects of changed classes keep their old (renamed)
+    class and a zero status word. They are transformed on first touch by
+    the interpreter read barrier (:meth:`UpdateEngine._lazy_barrier`) —
+    which writes a same-space forwarding pointer into the old object's
+    status header and heals the touching stack slot — and drained in the
+    background by the idle-time sweep (:meth:`UpdateEngine._sweep_some`),
+    which walks the heap linearly from ``sweep_cursor``. New allocations
+    land past the bump pointer captured by the walk and are never of an
+    old class, so the sweep provably terminates.
+
+    Heap cells are never healed during the epoch (only operand-stack
+    slots are): the old objects keep their exact pre-update field image,
+    which is what makes a mid-epoch :meth:`UpdateEngine.rollback_applied`
+    exact — it only has to zero the forwarding words recorded in
+    ``transformed_log`` and truncate the heap to the snapshot bump.
+    The next ordinary collection collapses all epoch forwarding (the GC's
+    ``forward`` chases same-space pointers) whether or not the epoch has
+    drained.
+    """
+
+    prepared: PreparedUpdate
+    #: old class id -> installed new :class:`RVMClass` (the update map the
+    #: eager path would have handed to the collector)
+    new_class_by_old_id: Dict[int, RVMClass]
+    #: the renamed old classes; their ref statics are cleared and the
+    #: transformer class retired when the epoch closes (deferred from the
+    #: eager path's cleanup phase)
+    renamed: List[RVMClass]
+    #: record (old, new) pairs so a held-window rollback can zero exactly
+    #: the forwarding words this epoch wrote; off once committed
+    track_log: bool
+    #: linear heap scan position of the background sweep
+    sweep_cursor: int
+    #: ``vm.collector.collections`` at cursor time — a collection moves
+    #: every object, so a changed count resets the cursor
+    sweep_collections: int
+    pending_upper: int = 0
+    transformed: int = 0
+    touch_transforms: int = 0
+    sweep_transforms: int = 0
+    #: stack slots healed by the barrier chasing an existing forwarding
+    heals: int = 0
+    closed: bool = False
+    transformed_log: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def prefix(self) -> str:
+        return self.prepared.prefix
 
 
 class _ActiveUpdate:
@@ -284,8 +386,14 @@ class _ActiveUpdate:
         self.prepared = prepared
         self.sets = sets
         self.result = result
+        #: the safe-point acquisition schedule (a :class:`RetryPolicy`)
         self.policy = policy
         self.hold_transaction = False
+        #: ``"eager"`` | ``"lazy"`` — resolved from the request's
+        #: :class:`UpdatePolicy` at submit time
+        self.transform = "eager"
+        #: per-request heap-growth permission (policy OR engine default)
+        self.heap_grow = False
         #: current safe-point acquisition round (0-based)
         self.round = 0
         self.round_deadline_ms = started_ms + policy.round_timeout_ms(0)
@@ -324,7 +432,7 @@ class UpdateEngine:
         auto_read_barrier: bool = False,
         eager_old_copy_reclaim: bool = False,
         fault_injector: Optional[FaultInjector] = None,
-        heap_grow: bool = False,
+        heap_grow: Optional[bool] = None,
     ):
         self.vm = vm
         self.auto_read_barrier = auto_read_barrier
@@ -332,10 +440,16 @@ class UpdateEngine:
         #: reclaim them the moment the transformers finish, instead of
         #: waiting for the next collection
         self.eager_old_copy_reclaim = eager_old_copy_reclaim
-        #: when the update collection's to-space sizing pre-flight predicts
-        #: an overflow, grow the heap in place (``--dsu-heap-grow``) instead
-        #: of aborting with a ``heap-preflight`` reason
-        self.heap_grow = heap_grow
+        #: deprecated engine-level heap-grow flag; pass
+        #: ``UpdatePolicy(heap_grow=True)`` per request instead. Kept as an
+        #: OR-term against the per-request policy for one release.
+        if heap_grow is not None:
+            warnings.warn(
+                "UpdateEngine(heap_grow=...) is deprecated; set "
+                "UpdatePolicy(heap_grow=...) on the request instead",
+                DeprecationWarning, stacklevel=2,
+            )
+        self.heap_grow = bool(heap_grow)
         #: optional :class:`repro.dsu.faults.FaultInjector` exercising the
         #: abort paths; None in production
         self.fault_injector = fault_injector
@@ -346,6 +460,14 @@ class UpdateEngine:
         #: old-version frames still in flight after the latest bypass
         #: install; decremented by the interpreter's retirement hook
         self._bypass_stale_outstanding = 0
+        #: the open lazy-transformation epoch, when the last applied update
+        #: used ``transform="lazy"`` and objects are still pending behind
+        #: the read barrier; ``None`` once the sweep drains it
+        self.lazy_epoch: Optional[LazyEpoch] = None
+        #: old addresses whose lazy transformer is currently on the stack —
+        #: the barrier lets their reads through untransformed (a transformer
+        #: reading its own old object must not recurse)
+        self._lazy_in_progress: Set[int] = set()
         vm.on_world_stopped = self._world_stopped
         vm.return_barrier_hook = self._barrier_hit
         vm.stale_frame_retired_hook = self._stale_frame_retired
@@ -383,8 +505,13 @@ class UpdateEngine:
         """
         if self.active is not None:
             raise RuntimeError("an update is already in progress")
+        if self.lazy_epoch is not None:
+            # At most one epoch at a time: overlapping update maps would
+            # make the barrier ambiguous. Drain the previous one fully.
+            self.drain_lazy_epoch()
         prepared = request.prepared
         policy = request.policy
+        retry = policy.retry
         vm = self.vm
         if request.tracer is not None:
             vm.tracer = request.tracer
@@ -392,7 +519,7 @@ class UpdateEngine:
         vm.metrics.inc("dsu.updates_requested")
         result = UpdateResult(prepared.old_version, prepared.new_version)
         result.requested_at_ms = vm.clock.now_ms
-        result.rounds_allowed = policy.rounds
+        result.rounds_allowed = retry.rounds
         update_span = tracer.begin(
             "dsu.update", "dsu",
             old_version=prepared.old_version,
@@ -460,8 +587,10 @@ class UpdateEngine:
         vm.metrics.observe(
             "dsu.restricted_set_size", len(sets.hard) + len(sets.recompile)
         )
-        self.active = _ActiveUpdate(prepared, sets, result, policy, vm.clock.now_ms)
-        self.active.hold_transaction = request.hold_transaction
+        self.active = _ActiveUpdate(prepared, sets, result, retry, vm.clock.now_ms)
+        self.active.hold_transaction = policy.hold_transaction
+        self.active.transform = policy.transform
+        self.active.heap_grow = policy.heap_grow or self.heap_grow
         self.active.update_span = update_span
         if request.inloop_osr == "auto":
             from ..analysis.osrmap import compute_osr_plans
@@ -481,7 +610,7 @@ class UpdateEngine:
                 )
         self.active.round_span = tracer.begin(
             "dsu.safepoint.round", "dsu", round=0,
-            window_ms=policy.round_timeout_ms(0),
+            window_ms=retry.round_timeout_ms(0),
         )
         self.history.append(result)
         vm.update_pending = True
@@ -498,6 +627,14 @@ class UpdateEngine:
         if result.transaction is None:
             raise ValueError("no held transaction on this result")
         result.transaction = None
+        epoch = result.lazy_epoch
+        if epoch is not None:
+            # The epoch outlives the window, but its rollback log is no
+            # longer needed — forwarding words persist until the next
+            # collection collapses them.
+            epoch.track_log = False
+            epoch.transformed_log.clear()
+            result.lazy_epoch = None
         self.vm.gc_disabled = False
         self.vm.metrics.inc("dsu.held_txn_committed")
 
@@ -508,10 +645,27 @@ class UpdateEngine:
         The caller must guarantee the world is parked at yield points
         (the fleet controller calls this between scheduler slices) and
         that no GC ran since the apply (the engine pinned
-        ``vm.gc_disabled`` for exactly that reason)."""
+        ``vm.gc_disabled`` for exactly that reason).
+
+        A lazy epoch rolls back exactly: the barrier never wrote into old
+        objects' data cells (only their status headers and operand-stack
+        slots), so zeroing the logged forwarding words and truncating the
+        heap to the snapshot bump pointer — which discards every new-
+        layout object the epoch allocated — restores the pre-update heap
+        image bit for bit."""
         txn = result.transaction
         if txn is None:
             raise ValueError("no held transaction on this result")
+        vm = self.vm
+        epoch = result.lazy_epoch
+        if epoch is not None:
+            for old_address, _new_address in epoch.transformed_log:
+                vm.objects.set_status(old_address, 0)
+            epoch.transformed_log.clear()
+            if self.lazy_epoch is epoch:
+                self._uninstall_lazy_hooks()
+            result.lazy_epoch = None
+            vm.metrics.inc("dsu.lazy.epochs_discarded")
         with self.vm.tracer.span(
             "dsu.canary-rollback", "dsu",
             old_version=result.old_version,
@@ -926,12 +1080,24 @@ class UpdateEngine:
             # overflow — §3.5 warns the double copy of updated objects
             # "adds temporary memory pressure".
             current_phase = PHASE_GC
+            lazy = active.transform == "lazy" and bool(active.update_map)
             gc_skipped = not active.update_map
             if gc_skipped:
                 stats = GCStats()
                 tracer.instant("dsu.gc.skipped", "dsu",
                                reason="empty-transform-map")
                 vm.metrics.inc("dsu.gc_skipped")
+            elif lazy:
+                # Lazy mode: no update collection at the pause. Changed-
+                # class objects stay in place with their old (renamed)
+                # class; the epoch opened below transforms each on first
+                # touch and sweeps the rest in idle slices. The pause is
+                # therefore independent of heap occupancy.
+                stats = GCStats()
+                tracer.instant("dsu.gc.deferred", "dsu",
+                               reason="lazy-transform",
+                               pending_classes=len(active.update_map))
+                vm.metrics.inc("dsu.gc_deferred")
             else:
                 stats = self._preflight_and_collect(active, txn, injector)
             end_phase("gc")
@@ -970,11 +1136,15 @@ class UpdateEngine:
                 # the duplicate old versions unreachable" (§3.4).
                 stats.update_log.clear()
                 self._old_copy_of.clear()
-                for old_class in active.renamed:
-                    for name, slot in old_class.static_slots.items():
-                        if old_class.static_is_ref.get(name):
-                            vm.jtoc.write(slot, 0)
-                self._retire_transformers(active)
+                if not lazy:
+                    # Lazy epochs defer these to epoch close: the old
+                    # statics and the transformer class must survive until
+                    # the last pending object has been transformed.
+                    for old_class in active.renamed:
+                        for name, slot in old_class.static_slots.items():
+                            if old_class.static_is_ref.get(name):
+                                vm.jtoc.write(slot, 0)
+                    self._retire_transformers(active.prepared)
                 if self.eager_old_copy_reclaim:
                     # The duplicates lived in a segregated region: give it
                     # back now rather than waiting for the next collection.
@@ -994,11 +1164,16 @@ class UpdateEngine:
         if active.hold_transaction:
             # Keep the snapshot alive for the caller's verification window.
             # GC must stay off until commit_applied()/rollback_applied():
-            # a collection would evacuate live objects while the snapshot
-            # still references the pre-update heap image.
+            # an eager snapshot still references the pre-update heap image,
+            # and a lazy rollback truncates the heap to the snapshot bump —
+            # both are destroyed by a collection moving objects.
             result.transaction = txn
             vm.gc_disabled = True
             vm.metrics.inc("dsu.held_transactions")
+        result.transform_mode = active.transform
+        if lazy:
+            self._open_lazy_epoch(active, result,
+                                  hold=active.hold_transaction)
         result.objects_transformed = stats.objects_updated
         result.status = APPLIED
         result.finished_at_ms = vm.clock.now_ms
@@ -1065,7 +1240,7 @@ class UpdateEngine:
             fits=preflight.fits,
         )
         if not preflight.fits:
-            if not self.heap_grow:
+            if not active.heap_grow:
                 raise HeapPreflightError(
                     preflight.needed_cells,
                     preflight.available_cells,
@@ -1246,13 +1421,14 @@ class UpdateEngine:
         for clinit in new_clinits:
             vm.run_static_method_synchronously(clinit)
 
-    def _retire_transformers(self, active: _ActiveUpdate) -> None:
+    def _retire_transformers(self, prepared: PreparedUpdate) -> None:
         """Rename the transformer class out of the live namespace so the
-        next update can load a fresh one."""
+        next update can load a fresh one. Eager applies retire during the
+        cleanup phase; lazy epochs defer to epoch close."""
         vm = self.vm
-        retired_tag = f"retired{len(self.history)}_{active.prepared.new_version}"
+        retired_tag = f"retired{len(self.history)}_{prepared.new_version}"
         retired_tag = retired_tag.replace(".", "")
-        for name in active.prepared.transformer_classfiles:
+        for name in prepared.transformer_classfiles:
             rvmclass = vm.registry.maybe_get(name)
             if rvmclass is None:
                 continue
@@ -1414,3 +1590,290 @@ class UpdateEngine:
         if address in self._transform_in_progress:
             return
         self._force_transform(address)
+
+    # ------------------------------------------------------------------
+    # lazy transformation: the epoch, the read barrier and the sweep
+
+    def _open_lazy_epoch(self, active: _ActiveUpdate, result: UpdateResult,
+                         hold: bool) -> None:
+        """Install the epoch after a successful lazy apply: every object
+        of a changed class is still in place with its old (renamed) class
+        and an untouched field image; the barrier and the sweep take over
+        from here."""
+        vm = self.vm
+        heap = vm.heap
+        epoch = LazyEpoch(
+            prepared=active.prepared,
+            new_class_by_old_id=dict(active.update_map),
+            renamed=list(active.renamed),
+            track_log=hold,
+            sweep_cursor=heap.space_start,
+            sweep_collections=vm.collector.collections,
+        )
+        epoch.pending_upper = sum(
+            heap.live_instances_upper_bound(old_id)
+            for old_id in epoch.new_class_by_old_id
+        )
+        self.lazy_epoch = epoch
+        self._lazy_in_progress.clear()
+        vm.lazy_barrier = self._lazy_barrier
+        vm.idle_work_hook = self._lazy_sweep_slice
+        result.lazy_pending_upper = epoch.pending_upper
+        if hold:
+            result.lazy_epoch = epoch
+        vm.tracer.instant(
+            "dsu.lazy.epoch-open", "dsu",
+            pending_classes=len(epoch.new_class_by_old_id),
+            pending_upper=epoch.pending_upper,
+        )
+        vm.metrics.inc("dsu.lazy.epochs_opened")
+
+    def _uninstall_lazy_hooks(self) -> None:
+        vm = self.vm
+        if vm.lazy_barrier is not None:
+            vm.lazy_barrier = None
+        if vm.idle_work_hook is not None:
+            vm.idle_work_hook = None
+        self.lazy_epoch = None
+        self._lazy_in_progress.clear()
+
+    def _lazy_barrier(self, frame, slot: int, heal_only: bool = False) -> None:
+        """The interpreter read barrier: called with an operand-stack (or
+        receiver) ``slot`` about to be dereferenced. Chases same-space
+        forwarding left by earlier transforms — healing only the stack
+        slot, never heap cells — and transforms a still-pending changed-
+        class object on the spot.
+
+        ``heal_only`` is the identity-comparison variant (REF_EQ): both
+        operands are canonicalized through forwarding so ``old == new``
+        compares equal, but an untouched pending object stays pending —
+        comparing identities is not a field access."""
+        epoch = self.lazy_epoch
+        if epoch is None:
+            return
+        vm = self.vm
+        heap = vm.heap
+        cells = heap.cells
+        stack = frame.stack
+        address = stack[slot]
+        if address == NULL:
+            return
+        vm.clock.tick(vm.clock.costs.lazy_barrier_check)
+        status = cells[address + HEADER_STATUS]
+        healed = False
+        while status != 0 and heap.in_space(status, heap.current_space):
+            address = status
+            status = cells[address + HEADER_STATUS]
+            healed = True
+        if healed:
+            stack[slot] = address
+            epoch.heals += 1
+        if heal_only:
+            return
+        new_class = epoch.new_class_by_old_id.get(cells[address + HEADER_TIB])
+        if new_class is None:
+            return
+        if address in self._lazy_in_progress:
+            # A transformer reading its own old object: let the raw read
+            # through (the eager path's cycle-tolerant barrier semantics).
+            return
+        if not heap.can_allocate(new_class.instance_cells):
+            if vm.gc_disabled:
+                raise VMTrap(
+                    "out of memory: lazy transform inside a held update "
+                    "window (GC pinned)"
+                )
+            vm.collect()
+            # The collection healed every root — including this slot — and
+            # collapsed all epoch forwarding; re-read and re-check.
+            address = stack[slot]
+            if address == NULL:
+                return
+            new_class = epoch.new_class_by_old_id.get(
+                cells[address + HEADER_TIB]
+            )
+            if new_class is None:
+                return
+            if not heap.can_allocate(new_class.instance_cells):
+                raise VMTrap(
+                    "out of memory: heap cannot hold the transformed copy"
+                )
+        stack[slot] = self._lazy_transform(epoch, address, new_class)
+        epoch.touch_transforms += 1
+        vm.metrics.inc("dsu.lazy.touch_transforms")
+
+    def _lazy_transform(self, epoch: LazyEpoch, old_address: int,
+                        new_class: RVMClass) -> int:
+        """Transform one pending object: allocate the new-layout object,
+        run ``jvolveObject(new, old)``, and write a same-space forwarding
+        pointer into the old object's status header. The old object's data
+        cells are never written — the exact pre-update field image survives
+        for a held-window rollback. Caller guarantees allocation capacity.
+        """
+        vm = self.vm
+        # Pin addresses for the duration: the transformer may allocate, and
+        # a collection here would move both copies mid-copy.
+        gc_was_disabled = vm.gc_disabled
+        vm.gc_disabled = True
+        self._lazy_in_progress.add(old_address)
+        try:
+            new_address = vm.objects.alloc_object(new_class)
+            descriptor = (
+                f"(L{new_class.name};,L{epoch.prefix}{new_class.name};)V"
+            )
+            entry = vm.methods.lookup(
+                TRANSFORMERS_CLASS, "jvolveObject", descriptor
+            )
+            vm.clock.tick(
+                vm.clock.costs.transform_dispatch
+                + vm.clock.costs.transform_field * len(new_class.field_layout)
+            )
+            if entry is not None:
+                vm.run_static_method_synchronously(
+                    entry, [new_address, old_address]
+                )
+                vm.metrics.inc("dsu.transformer_invocations")
+            vm.objects.set_status(old_address, new_address)
+            if epoch.track_log:
+                epoch.transformed_log.append((old_address, new_address))
+            epoch.transformed += 1
+        finally:
+            self._lazy_in_progress.discard(old_address)
+            vm.gc_disabled = gc_was_disabled
+        return new_address
+
+    def _sweep_some(self, epoch: LazyEpoch, deadline_ms: Optional[float] = None,
+                    max_objects: Optional[int] = None) -> int:
+        """Advance the background sweep: walk the heap linearly from the
+        epoch's cursor, transforming every still-pending object, until the
+        deadline/budget runs out or the walk reaches the bump pointer —
+        at which point the epoch is closed. Returns objects transformed.
+
+        Termination: the walk is bounded by ``heap.bump`` at visit time;
+        objects allocated after a cell is visited are never of an old
+        (renamed) class, so nothing behind the cursor ever becomes pending
+        again. A collection moves everything, so the cursor restarts —
+        but each collection also discards every already-forwarded old
+        object, so the pending population is monotonically shrinking."""
+        vm = self.vm
+        heap = vm.heap
+        transformed = 0
+        visited = 0
+        just_collected = False
+        while self.lazy_epoch is epoch:
+            if deadline_ms is not None and vm.clock.now_ms >= deadline_ms:
+                break
+            if max_objects is not None and visited >= max_objects:
+                break
+            if epoch.sweep_collections != vm.collector.collections:
+                # Every object moved; restart the walk in the new space.
+                epoch.sweep_collections = vm.collector.collections
+                epoch.sweep_cursor = heap.space_start
+            cursor = epoch.sweep_cursor
+            if cursor >= heap.bump:
+                if vm.gc_disabled and epoch.transformed:
+                    # Drained, but the closing collection (which collapses
+                    # the epoch's forwarding so the barrier can come down)
+                    # needs the GC a held update window has pinned. Park;
+                    # commit/rollback re-enables collection and the next
+                    # sweep slice closes for real.
+                    break
+                self._close_lazy_epoch(epoch)
+                break
+            vm.clock.tick(vm.clock.costs.lazy_sweep_object)
+            visited += 1
+            size = vm.objects.object_size_cells(cursor)
+            new_class = None
+            if heap.cells[cursor + HEADER_STATUS] == 0:
+                new_class = epoch.new_class_by_old_id.get(
+                    heap.cells[cursor + HEADER_TIB]
+                )
+            if new_class is not None:
+                if not heap.can_allocate(new_class.instance_cells):
+                    if vm.gc_disabled:
+                        # Held window pins GC: park the sweep; it resumes
+                        # after commit/rollback re-enables collection.
+                        break
+                    if just_collected:
+                        raise OutOfMemoryError(
+                            "lazy sweep cannot allocate the transformed "
+                            "copy even after collection"
+                        )
+                    vm.collect()
+                    just_collected = True
+                    continue
+                self._lazy_transform(epoch, cursor, new_class)
+                just_collected = False
+                transformed += 1
+                epoch.sweep_transforms += 1
+            epoch.sweep_cursor = cursor + size
+        if transformed:
+            vm.metrics.inc("dsu.lazy.sweep_transforms", transformed)
+        return transformed
+
+    def _lazy_sweep_slice(self, target_ms: float) -> None:
+        """``vm.idle_work_hook``: spend an idle scheduler slice draining
+        the epoch instead of just advancing the clock."""
+        epoch = self.lazy_epoch
+        if epoch is None:
+            return
+        vm = self.vm
+        with vm.tracer.span("dsu.lazy.sweep", "dsu", mode="idle") as span:
+            transformed = self._sweep_some(epoch, deadline_ms=target_ms)
+            span.args.update(
+                transformed=transformed,
+                drained=self.lazy_epoch is not epoch,
+            )
+
+    def drain_lazy_epoch(self, max_objects: Optional[int] = None) -> int:
+        """Synchronously drain the open lazy epoch (fully, or up to
+        ``max_objects`` sweep visits). Used before a subsequent update and
+        by harnesses measuring total lazy overhead. Returns objects
+        transformed; 0 when no epoch is open."""
+        epoch = self.lazy_epoch
+        if epoch is None:
+            return 0
+        vm = self.vm
+        with vm.tracer.span("dsu.lazy.sweep", "dsu", mode="drain") as span:
+            transformed = self._sweep_some(epoch, max_objects=max_objects)
+            span.args.update(
+                transformed=transformed,
+                drained=self.lazy_epoch is not epoch,
+            )
+        return transformed
+
+    def _close_lazy_epoch(self, epoch: LazyEpoch) -> None:
+        """The sweep reached the bump pointer: nothing is pending anymore.
+        Collapse the epoch's forwarding, run the cleanup the eager path
+        did at the pause — clear the old classes' ref statics and retire
+        the transformer class — and uninstall the barrier and idle hook.
+
+        The closing collection is load-bearing: the barrier healed only
+        the operand-stack slots it saw, so statics, heap cells and frame
+        locals still hold old-shell addresses. Every read *and write*
+        through those references depends on the barrier chasing the
+        forwarding word; the barrier may only come down once a collection
+        has rewritten every reference to the transformed copies (the GC's
+        ``forward`` chases same-space forwarding for exactly this)."""
+        vm = self.vm
+        if epoch.transformed:
+            vm.collect()
+        self._uninstall_lazy_hooks()
+        for old_class in epoch.renamed:
+            for name, slot in old_class.static_slots.items():
+                if old_class.static_is_ref.get(name):
+                    vm.jtoc.write(slot, 0)
+        self._retire_transformers(epoch.prepared)
+        epoch.closed = True
+        if not epoch.track_log:
+            epoch.transformed_log.clear()
+        vm.tracer.instant(
+            "dsu.lazy.epoch-drained", "dsu",
+            transformed=epoch.transformed,
+            touch_transforms=epoch.touch_transforms,
+            sweep_transforms=epoch.sweep_transforms,
+            heals=epoch.heals,
+        )
+        vm.metrics.inc("dsu.lazy.epochs_closed")
+        vm.metrics.observe("dsu.lazy.touch_transforms", epoch.touch_transforms)
+        vm.metrics.observe("dsu.lazy.sweep_transforms", epoch.sweep_transforms)

@@ -1,0 +1,121 @@
+"""The update policy: one typed knob object instead of kwarg sprawl.
+
+Through PR 8 every new engine capability grew a new mode flag somewhere
+slightly different: ``lint=``/``bypass=``/``inloop_osr=``/
+``hold_transaction=`` on :class:`~repro.dsu.engine.UpdateRequest`,
+``heap_grow=`` on the engine constructor, and the retry budget hiding
+inside ``policy=RetryPolicy(...)``. Callers had to know which layer owned
+which flag, and presets ("what the paper did" vs "everything on") lived
+in people's heads.
+
+:class:`UpdatePolicy` collapses all of it into one frozen dataclass:
+
+``policy = UpdatePolicy.fast()            # bypass + in-loop OSR + lazy``
+``policy = UpdatePolicy.paper()           # strict paper fidelity``
+``policy = UpdatePolicy.safe()            # strict lint, eager transform``
+``policy = replace(UpdatePolicy.fast(), retry=RetryPolicy(retries=3))``
+
+The old per-request kwargs survive for one release as
+``DeprecationWarning`` shims on ``UpdateRequest`` (see
+:mod:`repro.dsu.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .safepoint import RetryPolicy
+
+#: allowed values for each mode field, used by validation and the CLI
+LINT_MODES = ("off", "warn", "strict")
+BYPASS_MODES = ("off", "auto", "require")
+INLOOP_OSR_MODES = ("off", "auto", "require")
+TRANSFORM_MODES = ("eager", "lazy")
+
+
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """Everything that shapes *how* one update is applied.
+
+    Fields mirror the knobs the engine grew organically:
+
+    ``retry``
+        Safe-point acquisition budget (timeout / retries / backoff).
+    ``lint``
+        Static pre-flight: ``off`` skips it, ``warn`` records findings,
+        ``strict`` aborts on a predicted-unsafe update.
+    ``bypass``
+        Con-freeness fast path: ``auto`` takes the zero-pause immediate
+        bypass when the verdict allows, ``require`` aborts otherwise.
+    ``inloop_osr``
+        In-loop OSR rescue of blocking loop frames after the retry
+        budget expires: ``auto`` rescues when a verified plan exists,
+        ``require`` insists on rescue eligibility up front.
+    ``transform``
+        Object transformation strategy. ``eager`` runs the paper's
+        stop-the-world update collection; ``lazy`` installs metadata at
+        the pause but transforms objects on first touch behind a read
+        barrier, draining the remainder in idle-time sweep slices.
+    ``hold_transaction``
+        Keep the update transaction open after a successful apply so a
+        verifier can still roll back in place (fleet canary windows).
+        Whether GC stays enabled while held depends on the snapshot
+        scope: code-only bypass snapshots and lazy epochs hold no GC-
+        hostile state, full eager snapshots pin collection.
+    ``heap_grow``
+        Let the update-GC pre-flight grow the heap in place instead of
+        aborting when to-space cannot hold the transformed objects.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    lint: str = "off"
+    bypass: str = "off"
+    inloop_osr: str = "off"
+    transform: str = "eager"
+    hold_transaction: bool = False
+    heap_grow: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lint not in LINT_MODES:
+            raise ValueError(
+                f"lint must be one of {'|'.join(LINT_MODES)}, got {self.lint!r}")
+        if self.bypass not in BYPASS_MODES:
+            raise ValueError(
+                f"bypass must be one of {'|'.join(BYPASS_MODES)}, "
+                f"got {self.bypass!r}")
+        if self.inloop_osr not in INLOOP_OSR_MODES:
+            raise ValueError(
+                f"inloop_osr must be one of {'|'.join(INLOOP_OSR_MODES)}, "
+                f"got {self.inloop_osr!r}")
+        if self.transform not in TRANSFORM_MODES:
+            raise ValueError(
+                f"transform must be one of {'|'.join(TRANSFORM_MODES)}, "
+                f"got {self.transform!r}")
+
+    # -- presets -------------------------------------------------------
+
+    @classmethod
+    def paper(cls, **overrides) -> "UpdatePolicy":
+        """What Jvolve itself did: stop-the-world eager transformation,
+        no static lint gate, no bypass, no in-loop OSR rescue."""
+        return replace(cls(), **overrides)
+
+    @classmethod
+    def fast(cls, **overrides) -> "UpdatePolicy":
+        """Minimize pause: zero-pause bypass when con-free, in-loop OSR
+        rescue instead of aborting, lazy on-first-touch transformation."""
+        return replace(
+            cls(bypass="auto", inloop_osr="auto", transform="lazy"),
+            **overrides)
+
+    @classmethod
+    def safe(cls, **overrides) -> "UpdatePolicy":
+        """Maximize predictability: strict static lint pre-flight, eager
+        transformation (no lazy epoch tail), OSR rescue still allowed."""
+        return replace(
+            cls(lint="strict", inloop_osr="auto"),
+            **overrides)
+
+
+#: short alias used throughout docs and examples
+Policy = UpdatePolicy

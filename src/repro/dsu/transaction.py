@@ -267,18 +267,29 @@ class UpdateTransaction:
     # ------------------------------------------------------------------
 
     def _scrub_forwarding_words(self) -> None:
-        """Walk the (restored) current space linearly and zero every status
-        header. Object data cells were never written by the collection, so
-        class ids and array lengths still parse; only the status words hold
-        forwarding-pointer scribble."""
+        """Walk the (restored) current space linearly and zero the status
+        headers the aborted update collection wrote. Object data cells were
+        never written by the collection, so class ids and array lengths
+        still parse; only the status words hold forwarding-pointer scribble.
+
+        A drained-or-draining *lazy* epoch (repro.dsu.engine) also stores
+        forwarding in status headers — but those point into the **current**
+        space (object transformed in place, new copy beside the old one),
+        whereas the collection's pointers lead into the other semispace.
+        Lazy forwarding is live state the heap still depends on (heap cells
+        are never healed during an epoch), so only cross-space words are
+        scrubbed."""
         vm = self.vm
         heap = vm.heap
         address = heap.space_start
         end = self.heap_bump
         registry = vm.registry
+        current = heap.current_space
         while address < end:
             rvmclass = registry.by_class_id(heap.cells[address + HEADER_TIB])
-            heap.cells[address + HEADER_STATUS] = 0
+            status = heap.cells[address + HEADER_STATUS]
+            if status != 0 and not heap.in_space(status, current):
+                heap.cells[address + HEADER_STATUS] = 0
             address += _object_cells(heap, rvmclass, address)
 
 

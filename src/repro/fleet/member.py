@@ -17,13 +17,14 @@ fleet compiles each version once, not N times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..apps.registry import APPS, AppInfo
 from ..compiler.compile import compile_source
 from ..dsu.engine import UpdateEngine, UpdateRequest, UpdateResult
 from ..dsu.faults import FaultInjector, FaultPlan, VMCrash
+from ..dsu.policy import UpdatePolicy
 from ..dsu.safepoint import RetryPolicy
 from ..dsu.upt import PreparedUpdate, prepare_update
 from ..net.ftpclient import browse_script
@@ -256,18 +257,23 @@ class FleetMember:
     def submit_update(
         self,
         to_version: str,
-        policy: RetryPolicy,
+        policy: Union[UpdatePolicy, RetryPolicy],
         hold_transaction: bool = False,
         fault_plan: Optional[FaultPlan] = None,
     ) -> UpdateResult:
         """Submit one update attempt to this member's engine. The result
-        fills in as the controller's slice loop drives the VM."""
+        fills in as the controller's slice loop drives the VM. ``policy``
+        is an :class:`UpdatePolicy` (a bare :class:`RetryPolicy` is
+        wrapped for convenience); ``hold_transaction=True`` overlays the
+        canary hold on top of it."""
         self.engine.fault_injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
         prepared = self.prepare(to_version)
-        request = UpdateRequest(
-            prepared, policy=policy, hold_transaction=hold_transaction
-        )
+        if isinstance(policy, RetryPolicy):
+            policy = UpdatePolicy(retry=policy)
+        if hold_transaction:
+            policy = replace(policy, hold_transaction=True)
+        request = UpdateRequest(prepared, policy=policy)
         self.state = STATE_UPDATING
         return self.engine.submit(request)

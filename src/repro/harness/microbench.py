@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 from ..compiler.compile import compile_source
 from ..dsu.engine import UpdateEngine, UpdateRequest
+from ..dsu.policy import UpdatePolicy
 from ..dsu.safepoint import RetryPolicy
 from ..dsu.upt import prepare_update
 from ..vm.vm import VM
@@ -151,7 +152,10 @@ def run_microbench(
     prepared = prepare_update(old_classfiles, new_classfiles, "micro1", "micro2")
     engine = UpdateEngine(vm)
     result = engine.submit(
-        UpdateRequest(prepared, policy=RetryPolicy(timeout_ms=timeout_ms))
+        UpdateRequest(
+            prepared,
+            policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=timeout_ms)),
+        )
     )
     vm.run(max_instructions=100_000_000)
     if not result.succeeded:

@@ -42,6 +42,8 @@ class PauseRow:
     from_version: str
     to_version: str
     status: str
+    #: "eager" (per-object work inside the pause) or "lazy" (epoch)
+    transform_mode: str = "eager"
     #: per-phase pause in simulated ms (suspend/classload/osr/gc/transform/
     #: cleanup — only phases that ran appear)
     phases: Dict[str, float] = field(default_factory=dict)
@@ -78,6 +80,23 @@ class PauseRow:
                 f"{self.phases['gc']:.6f} ms GC pause — the needless "
                 "full-heap update collection is back"
             )
+        if (
+            self.transform_mode == "lazy"
+            and self.status == "applied"
+            and not self.transform_map_empty
+        ):
+            # The lazy tentpole claim: per-object work is out of the pause.
+            if self.phases.get("gc", 0.0) > 0.0:
+                problems.append(
+                    "lazy update reports a "
+                    f"{self.phases['gc']:.6f} ms update-collection pause — "
+                    "the pause is scaling with the heap again"
+                )
+            if self.objects_transformed > 0:
+                problems.append(
+                    f"lazy update transformed {self.objects_transformed} "
+                    "objects inside the pause"
+                )
         return problems
 
 
@@ -89,6 +108,7 @@ def measure_pause(
     timeout_ms: float = 1_000.0,
     until_ms: float = 4_500.0,
     trace_out: Optional[str] = None,
+    transform: str = "eager",
 ) -> PauseRow:
     """Boot ``from_version`` under light load, apply one update, and return
     its pause breakdown. With ``trace_out`` the run's full span tree is
@@ -96,6 +116,7 @@ def measure_pause(
     row, _ = measure_pause_with_vm(
         app, from_version, to_version, request_at_ms=request_at_ms,
         timeout_ms=timeout_ms, until_ms=until_ms, trace_out=trace_out,
+        transform=transform,
     )
     return row
 
@@ -108,6 +129,7 @@ def measure_pause_with_vm(
     timeout_ms: float = 1_000.0,
     until_ms: float = 4_500.0,
     trace_out: Optional[str] = None,
+    transform: str = "eager",
 ) -> Tuple[PauseRow, "object"]:
     """:func:`measure_pause`, but also hands back the VM so callers can
     render the span tree or inspect the metrics registry."""
@@ -118,9 +140,16 @@ def measure_pause_with_vm(
     )
     driver.boot(from_version)
     _schedule_light_load(driver, app, info.port)
-    holder = driver.request_update_at(request_at_ms, to_version, timeout_ms)
+    holder = driver.request_update_at(
+        request_at_ms, to_version, timeout_ms, transform=transform
+    )
     driver.run(until_ms=until_ms)
     result = holder["result"]
+    if result.succeeded and transform == "lazy":
+        # Retire the epoch before accounting so the run is comparable to
+        # an eager one end to end (the drain cost lives in sweep spans,
+        # not in any pause phase).
+        driver.engine.drain_lazy_epoch()
     vm = driver.vm
     spec = holder["prepared"].spec
     row = PauseRow(
@@ -128,6 +157,7 @@ def measure_pause_with_vm(
         from_version=from_version,
         to_version=to_version,
         status=result.status,
+        transform_mode=transform,
         phases={name: round(ms, 6) for name, ms in result.phase_ms.items()},
         safepoint_wait_ms=round(result.safepoint_wait_ms, 6),
         total_pause_ms=round(result.total_pause_ms, 6),
@@ -149,12 +179,20 @@ def measure_pause_with_vm(
     return row, vm
 
 
-def run_pause_sweep(**kwargs) -> List[PauseRow]:
-    """Pause breakdowns for every bundled update of every application."""
+def run_pause_sweep(
+    transforms: Tuple[str, ...] = ("eager", "lazy"), **kwargs
+) -> List[PauseRow]:
+    """Pause breakdowns for every bundled update of every application,
+    once per transform mode (the lazy rows feed the zero-per-object-work
+    soundness gate)."""
     rows = []
     for app in APPS:
         for from_version, to_version in update_pairs(app):
-            rows.append(measure_pause(app, from_version, to_version, **kwargs))
+            for transform in transforms:
+                rows.append(measure_pause(
+                    app, from_version, to_version, transform=transform,
+                    **kwargs,
+                ))
     return rows
 
 
@@ -165,7 +203,8 @@ def render_pause_table(rows: List[PauseRow]) -> str:
     """Human-readable pause breakdown, one line per update."""
     lines = [
         "Per-update pause breakdown (simulated ms)",
-        f"{'app':>10s} {'update':>16s} {'outcome':>8s} {'wait':>9s} "
+        f"{'app':>10s} {'update':>16s} {'mode':>6s} {'outcome':>8s} "
+        f"{'wait':>9s} "
         + " ".join(f"{name:>9s}" for name in _PHASE_ORDER)
         + f" {'pause':>9s} {'e2e':>9s} {'objs':>6s}",
     ]
@@ -176,7 +215,8 @@ def render_pause_table(rows: List[PauseRow]) -> str:
             for name in _PHASE_ORDER
         )
         lines.append(
-            f"{row.app:>10s} {update:>16s} {row.status:>8s} "
+            f"{row.app:>10s} {update:>16s} {row.transform_mode:>6s} "
+            f"{row.status:>8s} "
             f"{row.safepoint_wait_ms:>9.2f} {cells} "
             f"{row.total_pause_ms:>9.2f} {row.end_to_end_ms:>9.2f} "
             f"{row.objects_transformed:>6d}"
@@ -197,7 +237,8 @@ def pause_report(rows: List[PauseRow]) -> dict:
         "clock": "simulated",
         "updates": [asdict(row) for row in rows],
         "problems": {
-            f"{row.app} {row.from_version}->{row.to_version}": problems
+            f"{row.app} {row.from_version}->{row.to_version} "
+            f"[{row.transform_mode}]": problems
             for row in rows
             if (problems := row.soundness_problems())
         },
@@ -217,9 +258,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if any update's phase breakdown "
                              "sums past its end-to-end latency, its span "
-                             "tree fails validation, or an update with an "
+                             "tree fails validation, an update with an "
                              "empty transform map reports a nonzero GC "
-                             "pause (the collection must be skipped)")
+                             "pause (the collection must be skipped), or a "
+                             "lazy update reports any update-collection "
+                             "pause or in-pause object transforms (all "
+                             "per-object work must leave the pause)")
     args = parser.parse_args(argv)
 
     rows = run_pause_sweep()

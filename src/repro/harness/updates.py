@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.compile import compile_source
 from ..dsu.engine import UpdateEngine, UpdateRequest, UpdateResult
+from ..dsu.policy import UpdatePolicy
 from ..dsu.safepoint import RetryPolicy
 from ..dsu.upt import PreparedUpdate, prepare_update
 from ..vm.vm import VM
@@ -171,17 +172,21 @@ class AppDriver:
         lint: str = "off",
         bypass: str = "off",
         inloop_osr: str = "auto",
+        transform: str = "eager",
+        policy: Optional[UpdatePolicy] = None,
     ) -> Dict[str, UpdateResult]:
         prepared = self.prepare(to_version, minimize=minimize)
-        request = UpdateRequest(
-            prepared,
-            policy=RetryPolicy(
-                timeout_ms=timeout_ms, retries=retries, backoff=backoff
-            ),
-            lint=lint,
-            bypass=bypass,
-            inloop_osr=inloop_osr,
-        )
+        if policy is None:
+            policy = UpdatePolicy(
+                retry=RetryPolicy(
+                    timeout_ms=timeout_ms, retries=retries, backoff=backoff
+                ),
+                lint=lint,
+                bypass=bypass,
+                inloop_osr=inloop_osr,
+                transform=transform,
+            )
+        request = UpdateRequest(prepared, policy=policy)
         holder: Dict[str, UpdateResult] = {}
         holder["prepared"] = prepared  # type: ignore[assignment]
 

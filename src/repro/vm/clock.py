@@ -44,6 +44,12 @@ class CostModel:
     #: DSU: reflective field-by-field copy, per field (on top of the
     #: interpreted transformer body's own instruction costs)
     transform_field: int = 1
+    #: DSU lazy mode: per read-barrier check while an epoch is open (a
+    #: status-header load and compare on the touched reference)
+    lazy_barrier_check: int = 1
+    #: DSU lazy mode: per object visited by the background sweep (linear
+    #: heap parse: size lookup + pending check)
+    lazy_sweep_object: int = 2
     #: JIT: per bytecode instruction compiled (baseline tier)
     jit_base_per_instr: int = 8
     #: JIT: per bytecode instruction compiled (optimizing tier)

@@ -210,7 +210,15 @@ class SemiSpaceCollector:
                 return address
             status = heap.cells[address + HEADER_STATUS]
             if status != 0:
-                return status  # forwarding pointer
+                if heap.in_space(status, from_space):
+                    # Same-space forwarding left by a lazy-transformation
+                    # epoch (repro.dsu.engine): the object was transformed
+                    # in place before this collection. Chase it — the
+                    # new-layout object is the live one; the recursion
+                    # copies it (or returns its to-space address) and this
+                    # old shell is simply never copied.
+                    return forward(status)
+                return status  # this collection's forwarding pointer
             if oom_at_copy is not None and stats.objects_copied >= oom_at_copy:
                 raise MemoryError(
                     f"injected to-space overflow after {stats.objects_copied} "

@@ -17,6 +17,15 @@ forwarding pointer (any value >= HEAP_BASE means "forwarded"), and during a
 dynamic update the collector uses it on *new* versions of updated objects to
 cache the address of the old copy (paper §3.4: "we instead cache a pointer
 to the old version in the new version during the collection").
+
+A third use appears during a *lazy-transformation epoch*
+(:mod:`repro.dsu.engine`): an object transformed on first touch keeps its
+old cells intact and gets a **same-space** forwarding pointer in its status
+word, pointing at the freshly allocated new-layout object. The two uses are
+distinguishable by destination: a collection's forwarding always crosses
+into the other semispace, lazy forwarding never leaves the current one.
+The GC's ``forward`` chases lazy words; the interpreter's read barrier
+heals stack slots through them; the next collection retires the old shells.
 """
 
 from __future__ import annotations

@@ -184,6 +184,11 @@ class Interpreter:
                     else 0
                 )
         elif op == "REF_EQ":
+            if vm.lazy_barrier is not None:
+                # Identity must be forwarding-blind during a lazy epoch:
+                # canonicalize both operands (heal, never transform).
+                vm.lazy_barrier(frame, -1, heal_only=True)
+                vm.lazy_barrier(frame, -2, heal_only=True)
             right = stack.pop()
             stack[-1] = 1 if stack[-1] == right else 0
 
@@ -197,11 +202,15 @@ class Interpreter:
             address = vm.allocate_array(array_class, length)
             stack[-1] = address
         elif op == "GETFIELD":
+            if vm.lazy_barrier is not None:
+                vm.lazy_barrier(frame, -1)
             address = stack.pop()
             if vm.transform_read_barrier:
                 vm.maybe_force_transform(address)
             stack.append(vm.objects.read_cell(address, instr.a))
         elif op == "PUTFIELD":
+            if vm.lazy_barrier is not None:
+                vm.lazy_barrier(frame, -2)
             value = stack.pop()
             address = stack.pop()
             vm.objects.write_cell(address, instr.a, value)
@@ -221,8 +230,15 @@ class Interpreter:
         elif op == "ARRAYLENGTH":
             stack[-1] = vm.objects.array_length(stack[-1])
         elif op == "CHECKCAST":
+            if vm.lazy_barrier is not None:
+                # Type tests need the *new* class: a pending object still
+                # carries its renamed old class, which is an instance of
+                # nothing the program can name.
+                vm.lazy_barrier(frame, -1)
             vm.objects.checkcast(stack[-1], instr.a)
         elif op == "INSTANCEOF":
+            if vm.lazy_barrier is not None:
+                vm.lazy_barrier(frame, -1)
             stack[-1] = 1 if vm.objects.is_instance(stack[-1], instr.a) else 0
 
         # --- control flow -------------------------------------------------
@@ -271,6 +287,10 @@ class Interpreter:
 
     def _invoke_virtual(self, thread, frame, tib_slot: int, argc: int):
         vm = self.vm
+        if vm.lazy_barrier is not None:
+            # Virtual dispatch reads the receiver's TIB: a pending object's
+            # renamed old class has an invalidated TIB, so transform first.
+            vm.lazy_barrier(frame, -argc - 1)
         receiver = frame.stack[-argc - 1]
         if receiver == NULL:
             raise VMTrap("null receiver in virtual call")

@@ -113,6 +113,21 @@ class ObjectModel:
     def set_status(self, address: int, value: int) -> None:
         self.heap.write(address + HEADER_STATUS, value)
 
+    def canonical_address(self, address: int) -> int:
+        """Chase same-space (lazy-epoch) forwarding to the current version
+        of an object. In steady state — no collection or update running —
+        a non-zero status header pointing into the current space means
+        "lazily transformed; the new-layout object lives there". Identity
+        for NULL and for unforwarded objects."""
+        while address != NULL:
+            status = self.heap.read(address + HEADER_STATUS)
+            if status == 0 or not self.heap.in_space(
+                status, self.heap.current_space
+            ):
+                break
+            address = status
+        return address
+
     # ------------------------------------------------------------------
     # scalar-object fields (by resolved cell offset)
 

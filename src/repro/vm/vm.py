@@ -103,6 +103,15 @@ class VM:
         self.stale_frame_retired_hook: Optional[
             Callable[[VMThread, Frame], None]
         ] = None
+        #: lazy-transformation read barrier, installed while a lazy epoch
+        #: is open: called with ``(frame, stack_slot)`` just before the
+        #: interpreter dereferences the reference in that operand-stack
+        #: slot; heals forwarding and transforms pending objects in place
+        self.lazy_barrier: Optional[Callable[..., None]] = None
+        #: background-work hook run inside ``sched.idle`` stalls before the
+        #: clock fast-forwards: the lazy epoch's sweep drains here, ticking
+        #: the clock itself up to the target time
+        self.idle_work_hook: Optional[Callable[[float], None]] = None
 
         self._rng_state = seed or 1
 
@@ -312,6 +321,11 @@ class VM:
             return
         before_ms = self.clock.now_ms
         with self.tracer.span("sched.idle", "sched"):
+            if self.idle_work_hook is not None:
+                # Idle slices are where background work (the lazy epoch's
+                # sweep) runs: it ticks the clock as it goes, and the
+                # advance below is a no-op for whatever it consumed.
+                self.idle_work_hook(target_ms)
             self.clock.advance_to_ms(target_ms)
         self.metrics.inc("sched.idle_stalls")
         self.metrics.observe("sched.idle_ms", self.clock.now_ms - before_ms)

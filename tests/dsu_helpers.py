@@ -2,6 +2,7 @@
 
 from repro.compiler.compile import compile_source
 from repro.dsu.engine import UpdateEngine, UpdateRequest
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import prepare_update
 from repro.vm.vm import VM
@@ -37,15 +38,18 @@ class UpdateFixture:
             blacklist=blacklist,
         )
 
-    def update_at(self, time_ms, v2_source, v2="2.0", timeout_ms=15_000.0, **kwargs):
+    def update_at(self, time_ms, v2_source, v2="2.0", timeout_ms=15_000.0,
+                  policy=None, **kwargs):
         """Schedule an update request at a simulated time; returns the
-        (eventually filled-in) UpdateResult."""
+        (eventually filled-in) UpdateResult. ``policy`` overrides the
+        default :class:`UpdatePolicy` (its retry timeout is taken from
+        ``timeout_ms`` when not supplied)."""
         prepared = self.prepare(v2_source, v2, **kwargs)
         holder = {}
 
-        request_obj = UpdateRequest(
-            prepared, policy=RetryPolicy(timeout_ms=timeout_ms)
-        )
+        if policy is None:
+            policy = UpdatePolicy(retry=RetryPolicy(timeout_ms=timeout_ms))
+        request_obj = UpdateRequest(prepared, policy=policy)
 
         def request():
             holder["result"] = self.engine.submit(request_obj)

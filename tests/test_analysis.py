@@ -25,6 +25,7 @@ from repro.analysis.report import (
 from repro.bytecode.instructions import Instr
 from repro.compiler.compile import compile_source
 from repro.dsu.engine import UpdateRequest
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import TRANSFORMERS_CLASS, prepare_update
 
@@ -409,7 +410,9 @@ class TestEnginePreflight:
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
         result = fixture.engine.submit(UpdateRequest(
-            prepared, policy=RetryPolicy(timeout_ms=500.0), lint="strict"
+            prepared,
+            policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=500.0),
+                                lint="strict"),
         ))
         assert result.status == "aborted"
         assert result.failed_phase == "preflight"
@@ -426,7 +429,9 @@ class TestEnginePreflight:
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
         result = fixture.engine.submit(UpdateRequest(
-            prepared, policy=RetryPolicy(timeout_ms=200.0), lint="warn"
+            prepared,
+            policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=200.0),
+                                lint="warn"),
         ))
         assert result.lint_errors >= 1
         assert result.lint_predicted_abort == "safepoint/timeout"
@@ -453,7 +458,9 @@ class Main {
         fixture = UpdateFixture(clean_v1).start()
         prepared = fixture.prepare(clean_v1.replace('"v1"', '"v2"'))
         result = fixture.engine.submit(UpdateRequest(
-            prepared, policy=RetryPolicy(timeout_ms=500.0), lint="strict"
+            prepared,
+            policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=500.0),
+                                lint="strict"),
         ))
         assert result.status != "aborted"
         assert result.lint_errors == 0
@@ -463,7 +470,7 @@ class Main {
         fixture = self.fixture()
         prepared = fixture.prepare(SPIN_V1.replace("n + 1", "n + 2"))
         with pytest.raises(ValueError):
-            UpdateRequest(prepared, lint="eventually")
+            UpdateRequest(prepared, policy=UpdatePolicy(lint="eventually"))
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.analysis.confree import (
 )
 from repro.apps.registry import APPS, EXPECTED_BYPASS_ELIGIBLE, update_pairs
 from repro.dsu.engine import UpdateRequest
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.specification import REASON_NOT_CON_FREE
 from repro.harness.updates import AppDriver
@@ -255,8 +256,10 @@ class TestBundledSweep:
 def submit_bypass(fixture, prepared, at_ms=55, bypass="auto", **kwargs):
     holder = {}
     request = UpdateRequest(
-        prepared, policy=RetryPolicy(timeout_ms=2_000.0),
-        bypass=bypass, **kwargs,
+        prepared,
+        policy=UpdatePolicy(
+            retry=RetryPolicy(timeout_ms=2_000.0), bypass=bypass, **kwargs
+        ),
     )
     fixture.vm.events.schedule(
         at_ms, lambda: holder.update(result=fixture.engine.submit(request))

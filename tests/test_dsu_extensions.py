@@ -10,6 +10,7 @@
 import pytest
 
 from repro.dsu.engine import UpdateEngine, UpdateRequest
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.dsu.upt import derive_identity_mapping, prepare_update
 from repro.compiler.compile import compile_source
@@ -71,7 +72,8 @@ class TestExtendedOSR:
             22,
             lambda: holder.update(
                 result=fixture.engine.submit(UpdateRequest(
-                    prepared, policy=RetryPolicy(timeout_ms=1_000)
+                    prepared,
+                    policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=1_000)),
                 ))
             ),
         )

@@ -10,6 +10,7 @@ import pytest
 
 from repro.dsu.engine import UpdateEngine, UpdateRequest
 from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from tests.dsu_helpers import UpdateFixture
 from tests.test_gc_extras import UPDATE_V1, UPDATE_V2
@@ -83,8 +84,10 @@ class TestSafepointFaults:
         holder = {}
         fixture.vm.events.schedule(55, lambda: holder.update(
             result=fixture.engine.submit(UpdateRequest(
-                prepared, policy=RetryPolicy(timeout_ms=100, retries=2,
-                                             backoff=2.0)
+                prepared,
+                policy=UpdatePolicy(retry=RetryPolicy(
+                    timeout_ms=100, retries=2, backoff=2.0,
+                )),
             ))
         ))
         fixture.run(until_ms=3_000)
@@ -123,8 +126,10 @@ class Main {
         holder = {}
         fixture.vm.events.schedule(25, lambda: holder.update(
             result=fixture.engine.submit(UpdateRequest(
-                prepared, policy=RetryPolicy(timeout_ms=100, retries=retries,
-                                             backoff=2.0)
+                prepared,
+                policy=UpdatePolicy(retry=RetryPolicy(
+                    timeout_ms=100, retries=retries, backoff=2.0,
+                )),
             ))
         ))
         return holder

@@ -8,6 +8,7 @@ cover the happy paths and the building blocks.
 import pytest
 
 from repro.dsu.engine import UpdateRequest
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.fleet import (
     FleetController,
@@ -170,8 +171,9 @@ class TestHeldTransactionWindow:
         holder = {}
         fixture.vm.events.schedule(55, lambda: holder.update(
             result=fixture.engine.submit(UpdateRequest(
-                prepared, policy=RetryPolicy(timeout_ms=2_000.0),
-                hold_transaction=True,
+                prepared,
+                policy=UpdatePolicy(retry=RetryPolicy(timeout_ms=2_000.0),
+                                    hold_transaction=True),
             ))
         ))
         fixture.run(until_ms=1_000)

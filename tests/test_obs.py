@@ -17,6 +17,7 @@ import pytest
 
 from repro.dsu.engine import UpdateEngine, UpdateRequest
 from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.obs import Metrics, Tracer
 from repro.obs.export import chrome_trace, render_span_tree
@@ -315,7 +316,9 @@ def run_traced_update(plan=None, timeout_ms=1_000.0, retries=0):
     prepared = fixture.prepare(UPDATE_V2)
     request = UpdateRequest(
         prepared,
-        policy=RetryPolicy(timeout_ms=timeout_ms, retries=retries),
+        policy=UpdatePolicy(
+            retry=RetryPolicy(timeout_ms=timeout_ms, retries=retries)
+        ),
     )
     holder = {}
     fixture.vm.events.schedule(
@@ -404,17 +407,27 @@ class TestBundledUpdateTraces:
         from repro.harness.pauses import run_pause_sweep
 
         rows = run_pause_sweep()
-        assert len(rows) == 22
+        # 22 bundled updates, each measured eagerly and lazily.
+        assert len(rows) == 44
+        assert sum(1 for row in rows if row.transform_mode == "lazy") == 22
         problems = {
-            f"{row.app} {row.from_version}->{row.to_version}": row.soundness_problems()
+            f"{row.app} {row.from_version}->{row.to_version} "
+            f"[{row.transform_mode}]": row.soundness_problems()
             for row in rows if row.soundness_problems()
         }
         assert problems == {}
         # With the in-loop OSR rescue on by default, the paper's two aborts
-        # land too: every bundled update applies.
+        # land too: every bundled update applies, in both transform modes.
         by_status = [row.status for row in rows]
-        assert by_status.count("applied") == 22
+        assert by_status.count("applied") == 44
         assert by_status.count("aborted") == 0
+        # The lazy tentpole, across the whole bundle: layout-changing
+        # updates must report zero update-collection pause and zero
+        # in-pause object transforms.
+        for row in rows:
+            if row.transform_mode == "lazy" and not row.transform_map_empty:
+                assert row.phases.get("gc", 0.0) == 0.0
+                assert row.objects_transformed == 0
 
 
 # ---------------------------------------------------------------------------
@@ -428,7 +441,7 @@ class TestFacade:
         prepared = fixture.prepare(UPDATE_V2)
         assert not hasattr(fixture.engine, "request_update")
         result = fixture.engine.submit(
-            UpdateRequest(prepared, policy=RetryPolicy(500.0))
+            UpdateRequest(prepared, policy=UpdatePolicy(retry=RetryPolicy(500.0)))
         )
         fixture.run(until_ms=6_000)
         assert result.succeeded
@@ -451,7 +464,7 @@ class TestFacade:
         fixture = UpdateFixture(UPDATE_V1)
         prepared = fixture.prepare(UPDATE_V2)
         with pytest.raises(ValueError, match="lint"):
-            UpdateRequest(prepared, lint="eventually")
+            UpdateRequest(prepared, policy=UpdatePolicy(lint="eventually"))
 
     def test_api_module_exports(self):
         import repro.api as api

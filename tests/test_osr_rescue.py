@@ -10,6 +10,7 @@ import pytest
 
 from repro.dsu.engine import UpdateRequest
 from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import RetryPolicy
 from repro.vm.osr import OSRError, can_osr, osr_replace, osr_replace_mapped
 
@@ -60,8 +61,10 @@ def submit_rescued_update(fixture, at_ms=100.0, timeout_ms=60.0,
         fixture.engine.fault_injector = FaultInjector(plan)
     holder = {}
     request = UpdateRequest(
-        prepared, policy=RetryPolicy(timeout_ms=timeout_ms),
-        inloop_osr=inloop_osr,
+        prepared,
+        policy=UpdatePolicy(
+            retry=RetryPolicy(timeout_ms=timeout_ms), inloop_osr=inloop_osr
+        ),
     )
     fixture.vm.events.schedule(
         at_ms, lambda: holder.update(result=fixture.engine.submit(request))

@@ -1,0 +1,161 @@
+"""The UpdatePolicy API: presets, validation, engine wiring, and the
+one-release DeprecationWarning shims covering the pre-PR-9 kwarg sprawl
+(``lint=``/``bypass=``/``inloop_osr=``/``hold_transaction=`` on
+UpdateRequest, ``heap_grow=`` on the engine, bare ``policy=RetryPolicy``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dsu.engine import UpdateEngine, UpdateRequest
+from repro.dsu.policy import Policy, UpdatePolicy
+from repro.dsu.safepoint import RetryPolicy
+from tests.dsu_helpers import UpdateFixture
+from tests.test_gc_extras import UPDATE_V1, UPDATE_V2
+
+
+class TestPolicyObject:
+    def test_defaults_are_paper_shaped(self):
+        policy = UpdatePolicy()
+        assert policy.retry == RetryPolicy()
+        assert policy.lint == "off"
+        assert policy.bypass == "off"
+        assert policy.inloop_osr == "off"
+        assert policy.transform == "eager"
+        assert policy.hold_transaction is False
+        assert policy.heap_grow is False
+
+    def test_paper_preset_is_the_default_policy(self):
+        assert UpdatePolicy.paper() == UpdatePolicy()
+
+    def test_fast_preset(self):
+        policy = UpdatePolicy.fast()
+        assert policy.bypass == "auto"
+        assert policy.inloop_osr == "auto"
+        assert policy.transform == "lazy"
+        assert policy.lint == "off"
+
+    def test_safe_preset(self):
+        policy = UpdatePolicy.safe()
+        assert policy.lint == "strict"
+        assert policy.inloop_osr == "auto"
+        assert policy.transform == "eager"
+        assert policy.bypass == "off"
+
+    def test_presets_take_overrides(self):
+        policy = UpdatePolicy.fast(transform="eager", lint="warn")
+        assert policy.transform == "eager"
+        assert policy.lint == "warn"
+        assert policy.bypass == "auto"  # the preset's value survives
+        retry = RetryPolicy(timeout_ms=99.0, retries=3)
+        assert UpdatePolicy.safe(retry=retry).retry is retry
+
+    def test_policy_alias(self):
+        assert Policy is UpdatePolicy
+        assert Policy.fast() == UpdatePolicy.fast()
+
+    def test_frozen(self):
+        policy = UpdatePolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.lint = "warn"
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        (dict(lint="eventually"), "lint"),
+        (dict(bypass="yes"), "bypass"),
+        (dict(inloop_osr="maybe"), "inloop_osr"),
+        (dict(transform="deferred"), "transform"),
+    ])
+    def test_mode_validation(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            UpdatePolicy(**kwargs)
+        # ...and through preset overrides too.
+        with pytest.raises(ValueError, match=needle):
+            UpdatePolicy.fast(**kwargs)
+
+
+class TestDeprecatedShims:
+    def prepared(self):
+        fixture = UpdateFixture(UPDATE_V1)
+        return fixture.prepare(UPDATE_V2)
+
+    def test_bare_retry_policy_is_wrapped_with_a_warning(self):
+        retry = RetryPolicy(timeout_ms=123.0)
+        with pytest.warns(DeprecationWarning, match="policy=RetryPolicy"):
+            request = UpdateRequest(self.prepared(), policy=retry)
+        assert isinstance(request.policy, UpdatePolicy)
+        assert request.policy.retry is retry
+
+    @pytest.mark.parametrize("name,value", [
+        ("lint", "warn"),
+        ("bypass", "auto"),
+        ("inloop_osr", "auto"),
+        ("hold_transaction", True),
+    ])
+    def test_mode_kwargs_warn_and_fold_into_the_policy(self, name, value):
+        with pytest.warns(DeprecationWarning, match=f"UpdateRequest\\({name}"):
+            request = UpdateRequest(self.prepared(), **{name: value})
+        assert getattr(request.policy, name) == value
+        # The attribute mirrors the effective policy afterwards.
+        assert getattr(request, name) == value
+
+    def test_kwarg_overrides_an_explicit_policy(self):
+        with pytest.warns(DeprecationWarning):
+            request = UpdateRequest(
+                self.prepared(),
+                policy=UpdatePolicy(lint="warn", bypass="auto"),
+                lint="strict",
+            )
+        assert request.policy.lint == "strict"
+        assert request.policy.bypass == "auto"
+
+    def test_plain_request_carries_the_default_policy_without_warning(self):
+        # (DeprecationWarning is an error under the test filter, so just
+        # constructing is the assertion.)
+        request = UpdateRequest(self.prepared())
+        assert request.policy == UpdatePolicy()
+        assert request.lint == "off"
+        assert request.hold_transaction is False
+
+    def test_engine_heap_grow_kwarg_warns(self):
+        fixture = UpdateFixture(UPDATE_V1)
+        with pytest.warns(DeprecationWarning, match="UpdateEngine\\(heap_grow"):
+            engine = UpdateEngine(fixture.vm, heap_grow=True)
+        assert engine.heap_grow is True
+
+
+class TestPolicyDrivesTheEngine:
+    def test_policy_heap_grow_grows_an_undersized_heap(self):
+        fixture = UpdateFixture(UPDATE_V1, heap_cells=900).start()
+        holder = fixture.update_at(
+            55, UPDATE_V2, policy=UpdatePolicy(heap_grow=True)
+        )
+        fixture.run(until_ms=2_000)
+        assert holder["result"].succeeded, holder["result"].reason
+        assert fixture.vm.heap.size > 900
+
+    def test_without_heap_grow_the_same_update_aborts(self):
+        fixture = UpdateFixture(UPDATE_V1, heap_cells=900).start()
+        holder = fixture.update_at(55, UPDATE_V2)
+        fixture.run(until_ms=2_000)
+        result = holder["result"]
+        assert not result.succeeded
+        assert result.reason_code == "heap-preflight"
+
+    def test_policy_hold_transaction_keeps_the_snapshot(self):
+        fixture = UpdateFixture(UPDATE_V1).start()
+        holder = fixture.update_at(
+            55, UPDATE_V2, policy=UpdatePolicy(hold_transaction=True)
+        )
+        fixture.run(until_ms=1_000)
+        result = holder["result"]
+        assert result.succeeded, result.reason
+        assert result.transaction is not None
+        fixture.engine.commit_applied(result)
+        assert result.transaction is None
+
+    def test_policy_transform_mode_lands_in_the_result(self):
+        fixture = UpdateFixture(UPDATE_V1).start()
+        holder = fixture.update_at(55, UPDATE_V2)
+        fixture.run(until_ms=2_000)
+        assert holder["result"].transform_mode == "eager"

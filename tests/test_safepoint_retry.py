@@ -10,6 +10,7 @@ import pytest
 
 from repro.dsu.engine import UpdateRequest
 from repro.dsu.faults import FaultPlan
+from repro.dsu.policy import UpdatePolicy
 from repro.dsu.safepoint import DEFAULT_TIMEOUT_MS, RetryPolicy
 from repro.dsu.specification import PHASE_SAFEPOINT, REASON_TIMEOUT
 from tests.dsu_helpers import UpdateFixture
@@ -78,8 +79,9 @@ class TestRetryExhaustionReporting:
         fixture.vm.events.schedule(55, lambda: holder.update(
             result=fixture.engine.submit(UpdateRequest(
                 prepared,
-                policy=RetryPolicy(timeout_ms=timeout_ms, retries=retries,
-                                   backoff=backoff),
+                policy=UpdatePolicy(retry=RetryPolicy(
+                    timeout_ms=timeout_ms, retries=retries, backoff=backoff,
+                )),
             ))
         ))
         fixture.run(until_ms=5_000)

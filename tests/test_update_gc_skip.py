@@ -15,8 +15,8 @@ Covers the two halves of the fix:
 
 import pytest
 
-from repro.dsu.engine import UpdateEngine
 from repro.dsu.faults import FaultInjector, FaultPlan
+from repro.dsu.policy import UpdatePolicy
 from repro.vm.heap import HEAP_BASE, Heap
 from tests.dsu_helpers import UpdateFixture
 from tests.test_dsu_faults import (
@@ -145,15 +145,17 @@ class TestPreflightAbort:
 
 
 class TestHeapGrow:
-    def grown_fixture(self, **engine_kwargs):
+    #: every update in this class opts into in-place growth at the
+    #: policy level (the engine-wide kwarg is a deprecated shim now)
+    GROW = UpdatePolicy(heap_grow=True)
+
+    def grown_fixture(self):
         fixture = UpdateFixture(UPDATE_V1, heap_cells=900)
-        fixture.engine = UpdateEngine(fixture.vm, heap_grow=True,
-                                      **engine_kwargs)
         return fixture.start()
 
     def test_undersized_update_succeeds_by_growing(self):
         fixture = self.grown_fixture()
-        holder = fixture.update_at(55, UPDATE_V2)
+        holder = fixture.update_at(55, UPDATE_V2, policy=self.GROW)
         fixture.run(until_ms=2_000)
         result = holder["result"]
         assert result.succeeded, result.reason
@@ -177,7 +179,7 @@ class TestHeapGrow:
         vm.collect()  # live data now sits in the high semispace
         assert vm.heap.current_space == 1
         old_size = vm.heap.size
-        holder = fixture.update_at(55, UPDATE_V2)
+        holder = fixture.update_at(55, UPDATE_V2, policy=self.GROW)
         fixture.run(until_ms=2_000)
         result = holder["result"]
         assert result.succeeded, result.reason
@@ -197,7 +199,7 @@ class TestHeapGrow:
         cells_before = len(vm.heap.cells)
         bounds_before = vm.heap._space_bounds
         space_before = vm.heap.current_space
-        holder = fixture.update_at(55, UPDATE_V2)
+        holder = fixture.update_at(55, UPDATE_V2, policy=self.GROW)
         fixture.run(until_ms=2_000)
         result = holder["result"]
         assert_clean_abort(fixture, result, "transform", "injected-fault")
@@ -222,7 +224,7 @@ class TestHeapGrow:
         vm.collect()
         assert vm.heap.current_space == 1
         size_before = vm.heap.size
-        holder = fixture.update_at(55, UPDATE_V2)
+        holder = fixture.update_at(55, UPDATE_V2, policy=self.GROW)
         fixture.run(until_ms=2_000)
         result = holder["result"]
         assert_clean_abort(fixture, result, "transform", "injected-fault")
